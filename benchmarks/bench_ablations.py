@@ -1,0 +1,30 @@
+"""Ablations for design choices beyond the paper's own figures."""
+
+from repro.bench.experiments import (run_async_impl, run_fd_sharing,
+                                     run_p256_montgomery, run_thresholds)
+
+
+def test_heuristic_thresholds(run_experiment):
+    run_experiment(run_thresholds)
+
+
+def test_fiber_vs_stack_async(run_experiment):
+    run_experiment(run_async_impl)
+
+
+def test_notify_fd_sharing(run_experiment):
+    run_experiment(run_fd_sharing)
+
+
+def test_p256_montgomery_fast_path(run_experiment):
+    run_experiment(run_p256_montgomery)
+
+
+def test_interrupt_vs_polling(run_experiment):
+    from repro.bench.experiments import run_interrupt_vs_polling
+    run_experiment(run_interrupt_vs_polling)
+
+
+def test_instances_per_worker(run_experiment):
+    from repro.bench.experiments import run_instances_per_worker
+    run_experiment(run_instances_per_worker)

@@ -1,0 +1,7 @@
+"""Figure 3's narrative, measured: where worker-CPU cycles go."""
+
+from repro.bench.experiments import run_cycles
+
+
+def test_cycles(run_experiment):
+    run_experiment(run_cycles)

@@ -1,0 +1,7 @@
+"""Extension experiments beyond the paper's evaluated scope."""
+
+from repro.bench.experiments import run_ext_tls13_resumption
+
+
+def test_tls13_psk_resumption(run_experiment):
+    run_experiment(run_ext_tls13_resumption)

@@ -1,0 +1,7 @@
+"""Figure 10: secure data-transfer throughput vs file size."""
+
+from repro.bench.experiments import run_fig10
+
+
+def test_fig10(run_experiment):
+    run_experiment(run_fig10)

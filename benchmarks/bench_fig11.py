@@ -1,0 +1,7 @@
+"""Figure 11: average response time vs concurrency."""
+
+from repro.bench.experiments import run_fig11
+
+
+def test_fig11(run_experiment):
+    run_experiment(run_fig11)

@@ -1,0 +1,15 @@
+"""Figure 12: timer-based polling thread vs heuristic polling."""
+
+from repro.bench.experiments import run_fig12a, run_fig12b, run_fig12c
+
+
+def test_fig12a_handshake_cps(run_experiment):
+    run_experiment(run_fig12a)
+
+
+def test_fig12b_transfer_throughput(run_experiment):
+    run_experiment(run_fig12b)
+
+
+def test_fig12c_response_time(run_experiment):
+    run_experiment(run_fig12c)

@@ -1,0 +1,7 @@
+"""Figure 7a: TLS-RSA (2048) full-handshake CPS, five configurations."""
+
+from repro.bench.experiments import run_fig7a
+
+
+def test_fig7a(run_experiment):
+    run_experiment(run_fig7a)

@@ -1,0 +1,7 @@
+"""Figure 7b: ECDHE-RSA (2048) full-handshake CPS."""
+
+from repro.bench.experiments import run_fig7b
+
+
+def test_fig7b(run_experiment):
+    run_experiment(run_fig7b)

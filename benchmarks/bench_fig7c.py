@@ -1,0 +1,7 @@
+"""Figure 7c: ECDHE-ECDSA CPS across six NIST curves."""
+
+from repro.bench.experiments import run_fig7c
+
+
+def test_fig7c(run_experiment):
+    run_experiment(run_fig7c)

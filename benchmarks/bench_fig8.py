@@ -1,0 +1,7 @@
+"""Figure 8: TLS 1.3 ECDHE-RSA CPS (HKDF not offloadable)."""
+
+from repro.bench.experiments import run_fig8
+
+
+def test_fig8(run_experiment):
+    run_experiment(run_fig8)

@@ -1,0 +1,7 @@
+"""Figure 9a: 100% abbreviated-handshake CPS (session resumption)."""
+
+from repro.bench.experiments import run_fig9a
+
+
+def test_fig9a(run_experiment):
+    run_experiment(run_fig9a)

@@ -1,0 +1,7 @@
+"""Figure 9b: mixed full:abbreviated = 1:9 CPS."""
+
+from repro.bench.experiments import run_fig9b
+
+
+def test_fig9b(run_experiment):
+    run_experiment(run_fig9b)

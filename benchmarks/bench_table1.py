@@ -1,0 +1,7 @@
+"""Table 1: server-side crypto op counts per full handshake."""
+
+from repro.bench.experiments import run_table1
+
+
+def test_table1(run_experiment):
+    run_experiment(run_table1)

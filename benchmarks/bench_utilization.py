@@ -1,0 +1,8 @@
+"""Section 2.4's motivating claim: straight offload underutilizes both
+CPU and accelerator; the async framework loads both."""
+
+from repro.bench.experiments import run_utilization
+
+
+def test_utilization(run_experiment):
+    run_experiment(run_utilization)

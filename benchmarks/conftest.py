@@ -1,0 +1,36 @@
+"""Benchmark harness glue.
+
+Each ``bench_*.py`` regenerates one paper table/figure via
+pytest-benchmark (one round — these are deterministic simulations, not
+microbenchmarks) and asserts the paper's shape claims.
+
+Set ``REPRO_BENCH_FULL=1`` for the full paper-size sweeps (slower).
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def quick() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "") != "1"
+
+
+@pytest.fixture
+def run_experiment(benchmark, quick):
+    """Run one experiment under pytest-benchmark and verify its shape
+    checks; returns the ExperimentResult."""
+
+    def _run(fn, **kw):
+        result = benchmark.pedantic(fn, kwargs=dict(quick=quick, **kw),
+                                    rounds=1, iterations=1)
+        print()
+        print(result.render())
+        failed = [c for c in result.checks if not c["ok"]]
+        assert not failed, (
+            f"{result.exp_id}: shape checks failed: "
+            + "; ".join(c["claim"] for c in failed))
+        return result
+
+    return _run

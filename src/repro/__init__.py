@@ -1,0 +1,9 @@
+"""QTLS reproduction: high-performance TLS asynchronous offload framework.
+
+Reproduction of Hu et al., "QTLS: High-Performance TLS Asynchronous
+Offload Framework with Intel QuickAssist Technology" (PPoPP 2019) on a
+from-scratch simulated substrate. See DESIGN.md for the system
+inventory and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,160 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+Beyond the paper's own figures:
+
+- heuristic threshold sweep (the 48/24 defaults of section 4.3);
+- fiber vs stack async implementation overhead (section 4.1);
+- per-connection notification-FD sharing (section 4.4);
+- the Montgomery-domain P-256 software fast path (Figure 7c text).
+"""
+
+from __future__ import annotations
+
+from ...core.costmodel import CostModel
+from ..reporting import ExperimentResult
+from ..runner import Testbed, Windows
+
+__all__ = ["run_thresholds", "run_async_impl", "run_fd_sharing",
+           "run_p256_montgomery"]
+
+QUICK = Windows(warmup=0.08, measure=0.12)
+FULL = Windows(warmup=0.2, measure=0.3)
+
+
+def run_thresholds(quick: bool = True, seed: int = 7) -> ExperimentResult:
+    windows = QUICK if quick else FULL
+    points = [(8, 4), (48, 24), (128, 64)] if quick else \
+        [(4, 2), (8, 4), (16, 8), (48, 24), (96, 48), (128, 64), (256, 128)]
+    result = ExperimentResult(
+        exp_id="ablation-thresholds",
+        title="Heuristic efficiency thresholds (asym/sym), QTLS TLS-RSA, "
+              "2 workers",
+        columns=["asym_threshold", "sym_threshold", "value"])
+    cps = {}
+    for asym, sym in points:
+        bed = Testbed("QTLS", workers=2, suites=("TLS-RSA",), seed=seed,
+                      qat_heuristic_poll_asym_threshold=asym,
+                      qat_heuristic_poll_sym_threshold=sym)
+        v = bed.measure_cps(windows)
+        cps[asym] = v
+        result.add_row(asym_threshold=asym, sym_threshold=sym, value=v)
+    default = cps[48]
+    best = max(cps.values())
+    result.add_check("default 48/24 within 10% of the best threshold",
+                     ">= 0.9x best", f"{default / best:.2f}x",
+                     default >= 0.9 * best)
+    return result
+
+
+def run_async_impl(quick: bool = True, seed: int = 7) -> ExperimentResult:
+    windows = QUICK if quick else FULL
+    result = ExperimentResult(
+        exp_id="ablation-async-impl",
+        title="Fiber vs stack async implementation, QTLS TLS-RSA, "
+              "2 workers",
+        columns=["impl", "value"],
+        notes="stack async replays completed steps on every resume; "
+              "fiber async pays a context swap per switch")
+    cps = {}
+    for impl in ("fiber", "stack"):
+        bed = Testbed("QTLS", workers=2, suites=("TLS-RSA",), seed=seed,
+                      async_impl=impl)
+        v = bed.measure_cps(windows)
+        cps[impl] = v
+        result.add_row(impl=impl, value=v)
+    ratio = min(cps.values()) / max(cps.values())
+    result.add_check("both implementations within ~5% (the paper calls "
+                     "the fiber penalty 'slight')", ">= 0.95x",
+                     f"{ratio:.3f}x", ratio >= 0.95)
+    return result
+
+
+def run_fd_sharing(quick: bool = True, seed: int = 7) -> ExperimentResult:
+    windows = QUICK if quick else FULL
+    result = ExperimentResult(
+        exp_id="ablation-fd-sharing",
+        title="Notification-FD sharing across a connection's jobs, "
+              "QAT+AH TLS-RSA, 2 workers",
+        columns=["share_fd", "value"])
+    cps = {}
+    for share in (True, False):
+        bed = Testbed("QAT+AH", workers=2, suites=("TLS-RSA",), seed=seed,
+                      share_notify_fd=share)
+        v = bed.measure_cps(windows)
+        cps[share] = v
+        result.add_row(share_fd=share, value=v)
+    gain = cps[True] / cps[False]
+    result.add_check("sharing one FD per connection lowers overhead",
+                     ">= 1.0x", f"{gain:.3f}x", gain >= 1.0)
+    return result
+
+
+def run_p256_montgomery(quick: bool = True, seed: int = 7
+                        ) -> ExperimentResult:
+    windows = QUICK if quick else FULL
+    result = ExperimentResult(
+        exp_id="ablation-p256-montgomery",
+        title="P-256 Montgomery-domain software fast path, SW "
+              "ECDHE-ECDSA, 4 workers",
+        columns=["montgomery", "value"],
+        notes="the fast path makes ECDSA(P-256) sign 2.33x faster "
+              "(Gueron-Krasnov), producing Figure 7c's SW anomaly")
+    cps = {}
+    for mont in (True, False):
+        cm = CostModel(p256_montgomery=mont)
+        bed = Testbed("SW", workers=4, suites=("ECDHE-ECDSA",),
+                      curves=("P-256",), seed=seed, cost_model=cm)
+        v = bed.measure_cps(windows)
+        cps[mont] = v
+        result.add_row(montgomery=mont, value=v)
+    gain = cps[True] / cps[False]
+    result.add_check("fast path gives a large SW speedup", "1.4-2.3x",
+                     f"{gain:.2f}x", 1.4 < gain < 2.3)
+    return result
+
+
+def run_interrupt_vs_polling(quick: bool = True, seed: int = 7
+                             ) -> ExperimentResult:
+    windows = QUICK if quick else FULL
+    result = ExperimentResult(
+        exp_id="ablation-interrupts",
+        title="Interrupt vs polling response retrieval, QTLS TLS-RSA, "
+              "2 workers",
+        columns=["retrieval", "value"],
+        notes="section 3.3: one userspace polling operation has much "
+              "less overhead than one kernel-based interrupt")
+    cps = {}
+    for name, kw in (("interrupt", dict(qat_notify_mode="interrupt")),
+                     ("heuristic-poll", {})):
+        bed = Testbed("QTLS", workers=2, suites=("TLS-RSA",), seed=seed,
+                      **kw)
+        v = bed.measure_cps(windows)
+        cps[name] = v
+        result.add_row(retrieval=name, value=v)
+    ratio = cps["heuristic-poll"] / cps["interrupt"]
+    result.add_check("polling clearly outperforms interrupts at load",
+                     "> 1.15x", f"{ratio:.2f}x", ratio > 1.15)
+    return result
+
+
+def run_instances_per_worker(quick: bool = True, seed: int = 7
+                             ) -> ExperimentResult:
+    windows = QUICK if quick else FULL
+    result = ExperimentResult(
+        exp_id="ablation-instances",
+        title="QAT instances per worker, QTLS TLS-RSA, 2 workers",
+        columns=["instances", "value"],
+        notes="section 2.3: with sufficient concurrent requests, one "
+              "or two instances fully load the parallel engines")
+    cps = {}
+    for n in (1, 2, 3):
+        bed = Testbed("QTLS", workers=2, suites=("TLS-RSA",), seed=seed,
+                      qat_instances_per_worker=n)
+        v = bed.measure_cps(windows)
+        cps[n] = v
+        result.add_row(instances=n, value=v)
+    spread = min(cps.values()) / max(cps.values())
+    result.add_check("one instance per worker already saturates "
+                     "(sufficient concurrency)", ">= 0.95x of best",
+                     f"{spread:.3f}x", spread >= 0.95)
+    return result

@@ -1,0 +1,60 @@
+"""Figure 11: average response time vs concurrency.
+
+One worker; each request is a fresh connection with a full TLS-RSA
+handshake fetching a <100-byte page — latency is dominated by where
+the RSA op runs and how fast its result comes back.
+"""
+
+from __future__ import annotations
+
+from ..reporting import ExperimentResult
+from ..runner import Testbed, Windows
+
+__all__ = ["run"]
+
+QUICK = Windows(warmup=0.1, measure=0.2)
+FULL = Windows(warmup=0.2, measure=0.4)
+
+CONFIGS = ("SW", "QAT+S", "QAT+A", "QTLS")  # the four the figure shows
+
+
+def run(quick: bool = True, seed: int = 7) -> ExperimentResult:
+    windows = QUICK if quick else FULL
+    concurrencies = [1, 16, 64] if quick \
+        else [1, 2, 4, 6, 8, 12, 16, 32, 64, 128, 256]
+    result = ExperimentResult(
+        exp_id="fig11",
+        title="Average response time (ms) vs concurrency, TLS-RSA, "
+              "1 worker, <100B page",
+        columns=["concurrency", "config", "value"],
+        notes="value = mean end-to-end response time in milliseconds")
+    lat = {}
+    for conc in concurrencies:
+        for config in CONFIGS:
+            bed = Testbed(config, workers=1, suites=("TLS-RSA",),
+                          seed=seed)
+            v = bed.measure_latency(windows, n_clients=conc) * 1e3
+            lat[(conc, config)] = v
+            result.add_row(concurrency=conc, config=config, value=v)
+
+    # Concurrency 1: QAT+S lowest (busy-loop wait), SW highest
+    # (software RSA), QTLS second-best (timeliness constraint).
+    c1 = {cfg: lat[(1, cfg)] for cfg in CONFIGS}
+    result.add_check("conc=1: QAT+S has the lowest latency",
+                     "QAT+S = min", f"{min(c1, key=c1.get)}",
+                     min(c1, key=c1.get) == "QAT+S")
+    result.add_check("conc=1: SW has the highest latency",
+                     "SW = max", f"{max(c1, key=c1.get)}",
+                     max(c1, key=c1.get) == "SW")
+    result.add_check("conc=1: QTLS beats QAT+A (immediate heuristic "
+                     "poll vs 10us timer)", "QTLS < QAT+A",
+                     f"{c1['QTLS']:.2f} vs {c1['QAT+A']:.2f} ms",
+                     c1["QTLS"] < c1["QAT+A"])
+    hi = 64 if 64 in concurrencies else concurrencies[-1]
+    red_a = 1 - lat[(hi, "QAT+A")] / lat[(hi, "SW")]
+    result.add_check(f"conc={hi}: QAT+A ~75% latency reduction vs SW",
+                     "65-85%", f"{red_a * 100:.0f}%", 0.6 < red_a < 0.88)
+    red_q = 1 - lat[(hi, "QTLS")] / lat[(hi, "SW")]
+    result.add_check(f"conc={hi}: QTLS ~85% latency reduction vs SW",
+                     "78-92%", f"{red_q * 100:.0f}%", 0.75 < red_q < 0.93)
+    return result

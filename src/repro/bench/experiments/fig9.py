@@ -1,0 +1,72 @@
+"""Figure 9: session resumption performance (TLS 1.2, ECDHE-RSA).
+
+- 9a: 100% abbreviated handshakes (s_time ``reuse``);
+- 9b: full:abbreviated = 1:9 (10% full handshakes).
+"""
+
+from __future__ import annotations
+
+from ...core.configurations import CONFIG_NAMES
+from ..reporting import ExperimentResult
+from ..runner import Testbed, Windows
+
+__all__ = ["run_fig9a", "run_fig9b"]
+
+QUICK = Windows(warmup=0.08, measure=0.12)
+FULL = Windows(warmup=0.2, measure=0.3)
+
+
+def _cps(config, workers, windows, seed, **fleet_kw):
+    bed = Testbed(config, workers=workers, suites=("ECDHE-RSA",), seed=seed)
+    return bed.measure_cps(windows, **fleet_kw)
+
+
+def run_fig9a(quick: bool = True, seed: int = 7) -> ExperimentResult:
+    windows = QUICK if quick else FULL
+    worker_points = [2] if quick else [2, 4, 8, 12, 16, 20]
+    configs = ("SW", "QAT+S", "QTLS") if quick else CONFIG_NAMES
+    result = ExperimentResult(
+        exp_id="fig9a",
+        title="Session resumption CPS, 100% abbreviated handshakes",
+        columns=["workers", "config", "value"],
+        notes="abbreviated handshakes involve PRF calculations only")
+    cps = {}
+    for w in worker_points:
+        for config in configs:
+            v = _cps(config, w, windows, seed, reuse=True)
+            cps[(w, config)] = v
+            result.add_row(workers=w, config=config, value=v)
+
+    w = worker_points[-1]
+    gain = cps[(w, "QTLS")] / cps[(w, "SW")]
+    result.add_check("QTLS gains 30-40% over SW", "1.25-1.55x",
+                     f"{gain:.2f}x", 1.25 < gain < 1.55)
+    s_ratio = cps[(w, "QAT+S")] / cps[(w, "SW")]
+    result.add_check("QAT+S obviously lower than SW", "< 0.95x",
+                     f"{s_ratio:.2f}x", s_ratio < 0.95)
+    return result
+
+
+def run_fig9b(quick: bool = True, seed: int = 7) -> ExperimentResult:
+    windows = QUICK if quick else FULL
+    worker_points = [2] if quick else [2, 4, 8, 12, 16, 20]
+    configs = ("SW", "QTLS") if quick else CONFIG_NAMES
+    result = ExperimentResult(
+        exp_id="fig9b",
+        title="Session resumption CPS, full:abbreviated = 1:9",
+        columns=["workers", "config", "value"])
+    cps = {}
+    for w in worker_points:
+        for config in configs:
+            v = _cps(config, w, windows, seed, full_ratio=0.1)
+            cps[(w, config)] = v
+            result.add_row(workers=w, config=config, value=v)
+
+    w = worker_points[-1]
+    gain = cps[(w, "QTLS")] / cps[(w, "SW")]
+    result.add_check("QTLS improves CPS by more than 2x", "2-3.5x",
+                     f"{gain:.2f}x", 2.0 < gain < 3.5)
+    result.add_check("1:9 gain sits between pure-abbreviated (~1.4x) "
+                     "and pure-full (~5.5x)", "1.4x < gain < 5.5x",
+                     f"{gain:.2f}x", 1.4 < gain < 5.5)
+    return result

@@ -1,0 +1,74 @@
+"""The motivating measurement (paper sections 1 and 2.4): straight
+offloading underutilizes BOTH the CPU (cycles burned waiting) and the
+accelerator (at most one engine busy per worker), while the async
+framework loads both.
+
+Reported per configuration under identical load:
+
+- worker-CPU busy fraction *and* how much of it is useful (non-wait),
+- mean busy QAT engines (of 30),
+- achieved CPS.
+
+The paper states: "for each application process, no more than one
+computation engine can be employed at the same time" in straight mode.
+"""
+
+from __future__ import annotations
+
+from ..reporting import ExperimentResult
+from ..runner import Testbed, Windows
+
+__all__ = ["run"]
+
+
+def run(quick: bool = True, seed: int = 7) -> ExperimentResult:
+    windows = Windows(0.06, 0.1) if quick else Windows(0.15, 0.25)
+    workers = 4
+    result = ExperimentResult(
+        exp_id="utilization",
+        title="CPU & accelerator utilization under identical load "
+              f"({workers} workers, TLS-RSA)",
+        columns=["config", "value", "cpu_busy_frac", "busy_engines"],
+        notes="value = CPS; busy_engines = time-averaged busy QAT "
+              "computation engines (of 30)")
+    stats = {}
+    for config in ("QAT+S", "QTLS"):
+        bed = Testbed(config, workers=workers, suites=("TLS-RSA",),
+                      seed=seed)
+        # Sample engine occupancy while the workload runs.
+        samples = []
+
+        def sampler(sim, bed=bed, samples=samples):
+            while True:
+                yield sim.timeout(1e-4)
+                samples.append(sum(ep.busy_engines
+                                   for ep in bed.device.endpoints))
+
+        bed.sim.process(sampler(bed.sim))
+        cps = bed.measure_cps(windows)
+        cpu_busy = bed.server.total_busy_time() / (windows.end * workers)
+        busy_engines = sum(samples) / max(1, len(samples))
+        stats[config] = (cps, cpu_busy, busy_engines)
+        result.add_row(config=config, value=cps,
+                       cpu_busy_frac=round(cpu_busy, 3),
+                       busy_engines=round(busy_engines, 2))
+
+    s_cps, s_cpu, s_eng = stats["QAT+S"]
+    q_cps, q_cpu, q_eng = stats["QTLS"]
+    result.add_check(
+        "straight mode: <= ~1 busy engine per worker (section 2.4)",
+        f"<= {workers * 1.3:.0f}", f"{s_eng:.2f}",
+        s_eng <= workers * 1.3)
+    result.add_check(
+        "async framework employs several times more engines",
+        "> 2x of straight", f"{q_eng / max(s_eng, 1e-9):.1f}x",
+        q_eng > 2 * s_eng)
+    result.add_check(
+        "straight mode burns CPU while waiting (busy but unproductive)",
+        "CPU ~saturated in both, >= 0.85",
+        f"QAT+S {s_cpu:.2f} / QTLS {q_cpu:.2f}",
+        s_cpu >= 0.85 and q_cpu >= 0.7)
+    result.add_check(
+        "same busy CPUs, several-fold CPS difference",
+        "> 3x", f"{q_cps / s_cps:.1f}x", q_cps > 3 * s_cps)
+    return result

@@ -1,0 +1,77 @@
+"""Experiment result containers and table rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+__all__ = ["ExperimentResult", "format_table"]
+
+
+@dataclass
+class ExperimentResult:
+    """The regenerated rows/series of one paper table or figure."""
+
+    exp_id: str                  # e.g. "fig7a"
+    title: str
+    columns: Sequence[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    #: Shape statements from the paper and whether we reproduced them.
+    checks: List[Dict[str, Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, **values: Any) -> None:
+        self.rows.append(values)
+
+    def add_check(self, claim: str, expected: str, measured: str,
+                  ok: bool) -> None:
+        self.checks.append(dict(claim=claim, expected=expected,
+                                measured=measured, ok=ok))
+
+    def value(self, **match: Any) -> Any:
+        """Look up the 'value' field of the row matching ``match``."""
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in match.items()):
+                return row["value"]
+        raise KeyError(f"no row matching {match}")
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(c["ok"] for c in self.checks)
+
+    def render(self) -> str:
+        out = [f"== {self.exp_id}: {self.title} =="]
+        out.append(format_table(self.columns, self.rows))
+        if self.checks:
+            out.append("shape checks (paper claim -> measured):")
+            for c in self.checks:
+                mark = "PASS" if c["ok"] else "MISS"
+                out.append(f"  [{mark}] {c['claim']}: expected "
+                           f"{c['expected']}, measured {c['measured']}")
+        if self.notes:
+            out.append(f"notes: {self.notes}")
+        return "\n".join(out)
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000:
+            return f"{v:,.0f}"
+        if abs(v) >= 1:
+            return f"{v:.2f}"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def format_table(columns: Sequence[str],
+                 rows: List[Dict[str, Any]]) -> str:
+    cells = [[_fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [max(len(c), *(len(r[i]) for r in cells)) if cells else len(c)
+              for i, c in enumerate(columns)]
+    head = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = [("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+            for row in cells]
+    return "\n".join([head, sep, *body])

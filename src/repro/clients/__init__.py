@@ -1,0 +1,7 @@
+"""Workload generators: s_time-like CPS clients and ab-like clients."""
+
+from .ab import AbFleet
+from .s_time import STimeFleet
+from .tls_session import ClientTlsSession
+
+__all__ = ["ClientTlsSession", "STimeFleet", "AbFleet"]

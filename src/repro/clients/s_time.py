@@ -1,0 +1,100 @@
+"""The ``openssl s_time``-like CPS workload (paper section 5.2).
+
+Each client is a closed loop: TCP connect, TLS handshake, close,
+repeat. With ``reuse`` (section 5.3) the client resumes its previous
+session (abbreviated handshake); a ``full_ratio`` between 0 and 1
+mixes full and abbreviated handshakes (Figure 9b's 1:9 uses 0.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.costmodel import CostModel
+from ..core.metrics import ClientMetrics
+from ..net.network import Network
+from ..tls.actions import TlsAlert
+from ..tls.config import TlsClientConfig
+from ..tls.constants import ProtocolVersion
+from .tls_session import ClientTlsSession
+
+__all__ = ["STimeFleet"]
+
+
+class STimeFleet:
+    """A population of s_time client processes."""
+
+    def __init__(self, sim, net: Network, addresses: List[str],
+                 client_config_factory, cost_model: CostModel,
+                 metrics: ClientMetrics, n_clients: int,
+                 machines: Tuple[str, ...] = ("client0", "client1"),
+                 version: ProtocolVersion = ProtocolVersion.TLS12,
+                 reuse: bool = False, full_ratio: float = 1.0,
+                 mix_rng: Optional[np.random.Generator] = None,
+                 stagger: float = 0.04) -> None:
+        if n_clients < 1:
+            raise ValueError("need at least one client")
+        if not 0.0 <= full_ratio <= 1.0:
+            raise ValueError("full_ratio in [0, 1]")
+        if reuse and full_ratio == 1.0:
+            full_ratio = 0.0  # pure-resumption mode ("reuse" flag)
+        self.sim = sim
+        self.net = net
+        self.addresses = addresses
+        self.make_client_config = client_config_factory
+        self.cm = cost_model
+        self.metrics = metrics
+        self.n_clients = n_clients
+        self.machines = machines
+        self.version = version
+        self.reuse = reuse or full_ratio < 1.0
+        self.full_ratio = full_ratio
+        self.mix_rng = mix_rng if mix_rng is not None \
+            else np.random.default_rng(0)
+        #: Client processes start spread over [0, stagger] seconds —
+        #: real benchmark processes never launch in lockstep, and
+        #: synchronized starts distort short measurement windows.
+        self.stagger = stagger
+        self._procs = []
+
+    def start(self) -> None:
+        for i in range(self.n_clients):
+            self._procs.append(
+                self.sim.process(self._client_loop(i),
+                                 name=f"s_time-{i}"))
+
+    def _client_loop(self, client_id: int):
+        machine = self.machines[client_id % len(self.machines)]
+        address = self.addresses[client_id % len(self.addresses)]
+        resume_cfg: Optional[TlsClientConfig] = None
+        if self.stagger > 0:
+            yield self.sim.timeout(float(self.mix_rng.random())
+                                   * self.stagger)
+        while True:
+            base_cfg = self.make_client_config(client_id)
+            want_full = (resume_cfg is None
+                         or self.mix_rng.random() < self.full_ratio)
+            cfg = base_cfg if want_full else resume_cfg
+
+            start = self.sim.now
+            try:
+                sock = yield from self.net.connect(
+                    machine, address, label=f"st{client_id}")
+                session = ClientTlsSession(self.sim, sock, cfg, self.cm,
+                                           version=self.version)
+                result = yield from session.handshake()
+            except (TlsAlert, ConnectionError):
+                self.metrics.record_error()
+                yield self.sim.timeout(1e-3)  # back off briefly
+                continue
+            now = self.sim.now
+            self.metrics.record_handshake(now, now - start, result.resumed)
+            sock.close()
+            if self.reuse and not result.resumed \
+                    and (result.session_id or result.session_ticket):
+                resume_cfg = session.resumption_config(cfg.rng)
+            # s_time immediately loops; a small client-side turnaround
+            # keeps per-client cycles from being zero-time.
+            yield self.sim.timeout(self.cm.client_step_cost)

@@ -1,0 +1,8 @@
+"""QTLS core: cost model, configurations, metrics."""
+
+from .configurations import CONFIG_NAMES, make_server_config
+from .costmodel import CostModel, default_cost_model
+from .metrics import ClientMetrics
+
+__all__ = ["CostModel", "default_cost_model", "ClientMetrics",
+           "CONFIG_NAMES", "make_server_config"]

@@ -1,0 +1,160 @@
+"""CPU-side cost model (software crypto + server path costs).
+
+All constants are simulated CPU seconds on one Broadwell-class
+(E5-2699 v4, 2.2 GHz) hyper-thread, calibrated against published
+OpenSSL speed numbers of that era and back-checked against the paper's
+aggregate results (see EXPERIMENTS.md). The QAT-side service times
+live in :mod:`repro.qat.service_times`.
+
+Calibration anchors (8 HT workers unless noted):
+
+- TLS-RSA(2048) full handshake, SW: ~4.3K CPS (Fig. 7a)
+  => ~1.83 ms CPU/handshake = 1.55 ms RSA + 4x~25 us PRF + path costs.
+- ECDHE-RSA adds ~2 P-256 ops; SW ~4K CPS (Fig. 7b).
+- ECDSA P-256 sign is Montgomery-domain accelerated (2.33x faster than
+  the generic path) — the Fig. 7c software anomaly.
+- 100% abbreviated, SW ~ (3 PRF + path) => QTLS gains 30-40% by
+  offloading PRF (Fig. 9a); hence PRF ~= 25 us on CPU (EVP/alloc
+  overhead included), ~4 us + DMA on QAT.
+- Secure data transfer: SW ~14 Gbps at 1 MB files with 8 workers
+  (Fig. 10) => ~67 us CPU per 16 KB record, of which ~39 us is the
+  chained cipher (offloadable) and the rest is network-stack tx.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..crypto.ops import CryptoOp, CryptoOpKind
+
+__all__ = ["CostModel", "default_cost_model"]
+
+
+# -- software crypto op costs (seconds) -------------------------------------
+
+_SW_RSA_PRIV = {1024: 380e-6, 2048: 1550e-6, 3072: 4600e-6, 4096: 10500e-6}
+_SW_RSA_PUB = {1024: 16e-6, 2048: 42e-6, 3072: 75e-6, 4096: 120e-6}
+
+# Per-curve {op: cost}. P-256 reflects the Montgomery-friendly fast
+# path (Gueron-Krasnov); the generic-path figures (used when the fast
+# path is disabled) are 2.33x for sign and ~2x for mults.
+_SW_EC: Dict[str, Dict[str, float]] = {
+    "P-256": {"sign": 35e-6, "verify": 95e-6,
+              "keygen": 52e-6, "compute": 150e-6},
+    "P-384": {"sign": 1000e-6, "verify": 2000e-6,
+              "keygen": 1150e-6, "compute": 1300e-6},
+    "B-283": {"sign": 1300e-6, "verify": 2600e-6,
+              "keygen": 1400e-6, "compute": 1600e-6},
+    "B-409": {"sign": 2900e-6, "verify": 5800e-6,
+              "keygen": 3100e-6, "compute": 3500e-6},
+    "K-283": {"sign": 1100e-6, "verify": 2200e-6,
+              "keygen": 1200e-6, "compute": 1350e-6},
+    "K-409": {"sign": 2500e-6, "verify": 5000e-6,
+              "keygen": 2700e-6, "compute": 3000e-6},
+}
+
+#: Generic (non-Montgomery) P-256 software path, for the ablation that
+#: reproduces the "2.33x faster" claim of Fig. 7c's discussion.
+_SW_EC_P256_GENERIC = {"sign": 81.6e-6, "verify": 200e-6,
+                       "keygen": 110e-6, "compute": 300e-6}
+
+_EC_OP_NAME = {
+    CryptoOpKind.ECDSA_SIGN: "sign",
+    CryptoOpKind.ECDSA_VERIFY: "verify",
+    CryptoOpKind.ECDH_KEYGEN: "keygen",
+    CryptoOpKind.ECDH_COMPUTE: "compute",
+}
+
+
+@dataclass
+class CostModel:
+    """Tunable cost constants; defaults reproduce the paper's shapes."""
+
+    # -- software crypto --------------------------------------------------
+    #: TLS 1.2 PRF op (EVP + transcript digest + allocation overhead).
+    prf_cost: float = 25e-6
+    #: One HKDF schedule step (TLS 1.3; never offloaded). Includes the
+    #: per-step EVP/transcript-digest overhead (fig8 calibration).
+    hkdf_cost: float = 40e-6
+    #: Lightweight HKDF expansions with no transcript digest (PSK
+    #: binder keys, resumption-PSK derivation), flagged by nbytes=0.
+    hkdf_small_cost: float = 8e-6
+    #: Chained AES128-CBC + HMAC-SHA1 record protection, software
+    #: (AES-NI): fixed + per-byte.
+    cipher_setup_cost: float = 6e-6
+    cipher_per_byte: float = 2.0e-9
+    #: Disable the Montgomery-domain P-256 fast path (ablation).
+    p256_montgomery: bool = True
+
+    # -- server path costs --------------------------------------------------
+    #: Accept + connection object setup + epoll registration.
+    accept_cost: float = 24e-6
+    #: Parse/build one handshake flight message (per message).
+    handshake_msg_cost: float = 10e-6
+    #: Extra serialization work for EC points / SKE construction.
+    ec_marshal_cost: float = 40e-6
+    #: Dispatch one event from the event loop to its handler.
+    event_dispatch_cost: float = 1.6e-6
+    #: HTTP request parse + response head build (keepalive request).
+    http_request_cost: float = 36e-6
+    #: Network tx path per record: fixed + per byte (TCP/kernel).
+    net_tx_fixed: float = 4e-6
+    net_tx_per_byte: float = 1.35e-9
+    #: Network rx path per inbound record/message.
+    net_rx_fixed: float = 3e-6
+    #: Connection teardown.
+    close_cost: float = 9e-6
+
+    # -- async machinery ---------------------------------------------------
+    #: One fiber context swap (ASYNC_start/pause/resume each swap once).
+    fiber_swap_cost: float = 0.35e-6
+    #: Stack-async "careful skipping" per replayed step.
+    stack_replay_cost: float = 0.12e-6
+    #: Application-level async queue push/pop (kernel bypass; no syscall).
+    async_queue_cost: float = 0.25e-6
+
+    # -- client-side costs (the s_time / ab machines) -------------------------
+    client_step_cost: float = 12e-6
+    client_crypto_scale: float = 1.0
+
+    def software_cost(self, op: CryptoOp) -> float:
+        """Software (CPU) execution time of a crypto op."""
+        kind = op.kind
+        if kind is CryptoOpKind.RSA_PRIV:
+            return _lookup(_SW_RSA_PRIV, op.rsa_bits or 2048, "RSA")
+        if kind is CryptoOpKind.RSA_PUB:
+            return _lookup(_SW_RSA_PUB, op.rsa_bits or 2048, "RSA")
+        if kind in _EC_OP_NAME:
+            table = _SW_EC.get(op.curve or "")
+            if table is None:
+                raise ValueError(f"no software cost for curve {op.curve!r}")
+            if op.curve == "P-256" and not self.p256_montgomery:
+                table = _SW_EC_P256_GENERIC
+            return table[_EC_OP_NAME[kind]]
+        if kind is CryptoOpKind.PRF:
+            return self.prf_cost + 8e-9 * op.nbytes
+        if kind is CryptoOpKind.HKDF:
+            return self.hkdf_cost if op.nbytes else self.hkdf_small_cost
+        if kind is CryptoOpKind.RECORD_CIPHER:
+            return self.cipher_setup_cost + self.cipher_per_byte * op.nbytes
+        raise ValueError(f"unknown op kind {kind}")  # pragma: no cover
+
+    def net_tx_cost(self, nbytes: int) -> float:
+        return self.net_tx_fixed + self.net_tx_per_byte * nbytes
+
+    def client_crypto_cost(self, op: CryptoOp) -> float:
+        """Client machines run the same software crypto (they are not
+        the bottleneck, but their latency contributes to Fig. 11)."""
+        return self.software_cost(op) * self.client_crypto_scale
+
+
+def _lookup(table: Dict[int, float], bits: int, what: str) -> float:
+    try:
+        return table[bits]
+    except KeyError:
+        raise ValueError(f"no software cost for {what}-{bits}") from None
+
+
+def default_cost_model() -> CostModel:
+    return CostModel()

@@ -1,0 +1,5 @@
+"""Simulated CPU substrate: cores, hyper-threading, switch costs."""
+
+from .core import Core, CpuStats, CpuTopology
+
+__all__ = ["Core", "CpuStats", "CpuTopology"]

@@ -1,0 +1,27 @@
+"""From-scratch crypto substrate for the QTLS reproduction.
+
+Functional implementations of every primitive the paper's TLS stack
+uses (RSA PKCS#1 v1.5, NIST prime & binary ECC, ECDSA, ECDH, AES-128
+CBC, HMAC, TLS 1.2 PRF, HKDF), plus the provider abstraction that the
+TLS and engine layers consume.
+"""
+
+from .bigint import i2osp, modinv, os2ip
+from .ec import (INFINITY, BinaryCurve, Curve, EcError, Point, PrimeCurve,
+                 get_curve, list_curves)
+from .ops import CryptoOp, CryptoOpKind, OpCategory
+from .provider import (CryptoProvider, KeyShare, ModeledCryptoProvider,
+                       RealCryptoProvider, ServerCredentials, VerifyError)
+from .rsa import (RsaError, RsaPrivateKey, RsaPublicKey, generate_keypair,
+                  sign_pkcs1v15, verify_pkcs1v15)
+
+__all__ = [
+    "i2osp", "os2ip", "modinv",
+    "Curve", "PrimeCurve", "BinaryCurve", "Point", "INFINITY", "EcError",
+    "get_curve", "list_curves",
+    "CryptoOp", "CryptoOpKind", "OpCategory",
+    "CryptoProvider", "RealCryptoProvider", "ModeledCryptoProvider",
+    "KeyShare", "ServerCredentials", "VerifyError",
+    "RsaPrivateKey", "RsaPublicKey", "RsaError", "generate_keypair",
+    "sign_pkcs1v15", "verify_pkcs1v15",
+]

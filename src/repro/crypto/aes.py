@@ -1,0 +1,167 @@
+"""AES-128 block cipher from scratch (FIPS 197).
+
+Table-driven implementation: S-boxes are generated from the GF(2^8)
+inverse map at import time rather than hard-coded, so the construction
+itself is visible and testable. Used by the CBC record cipher in
+:mod:`repro.crypto.modes`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AES128", "BLOCK_SIZE"]
+
+BLOCK_SIZE = 16
+
+
+def _xtime(a: int) -> int:
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _gf_mul(a: int, b: int) -> int:
+    acc = 0
+    while b:
+        if b & 1:
+            acc ^= a
+        a = _xtime(a)
+        b >>= 1
+    return acc
+
+
+def _build_sbox() -> tuple:
+    # Multiplicative inverse in GF(2^8) followed by the affine transform.
+    inv = [0] * 256
+    for x in range(1, 256):
+        # brute-force inverse; runs once at import
+        for y in range(1, 256):
+            if _gf_mul(x, y) == 1:
+                inv[x] = y
+                break
+    sbox = [0] * 256
+    for x in range(256):
+        b = inv[x]
+        res = 0
+        for i in range(8):
+            bit = ((b >> i) & 1) ^ ((b >> ((i + 4) % 8)) & 1) \
+                ^ ((b >> ((i + 5) % 8)) & 1) ^ ((b >> ((i + 6) % 8)) & 1) \
+                ^ ((b >> ((i + 7) % 8)) & 1) ^ ((0x63 >> i) & 1)
+            res |= bit << i
+        sbox[x] = res
+    inv_sbox = [0] * 256
+    for i, v in enumerate(sbox):
+        inv_sbox[v] = i
+    return tuple(sbox), tuple(inv_sbox)
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+
+class AES128:
+    """AES with a 128-bit key; encrypts/decrypts single 16-byte blocks."""
+
+    rounds = 10
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != 16:
+            raise ValueError("AES-128 requires a 16-byte key")
+        self._round_keys = self._expand_key(key)
+
+    @staticmethod
+    def _expand_key(key: bytes) -> list:
+        words = [list(key[i:i + 4]) for i in range(0, 16, 4)]
+        for i in range(4, 4 * (AES128.rounds + 1)):
+            temp = list(words[i - 1])
+            if i % 4 == 0:
+                temp = temp[1:] + temp[:1]                 # RotWord
+                temp = [_SBOX[b] for b in temp]            # SubWord
+                temp[0] ^= _RCON[i // 4 - 1]
+            words.append([words[i - 4][j] ^ temp[j] for j in range(4)])
+        # Group into 16-byte round keys (column-major state layout).
+        return [sum((words[4 * r + c] for c in range(4)), [])
+                for r in range(AES128.rounds + 1)]
+
+    # -- state helpers (state[c][r]: column-major like the key schedule) --
+
+    @staticmethod
+    def _add_round_key(state: list, rk: list) -> None:
+        for i in range(16):
+            state[i] ^= rk[i]
+
+    @staticmethod
+    def _sub_bytes(state: list, box) -> None:
+        for i in range(16):
+            state[i] = box[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: list) -> list:
+        # state index = 4*col + row
+        out = [0] * 16
+        for r in range(4):
+            for c in range(4):
+                out[4 * c + r] = state[4 * ((c + r) % 4) + r]
+        return out
+
+    @staticmethod
+    def _inv_shift_rows(state: list) -> list:
+        out = [0] * 16
+        for r in range(4):
+            for c in range(4):
+                out[4 * ((c + r) % 4) + r] = state[4 * c + r]
+        return out
+
+    @staticmethod
+    def _mix_columns(state: list) -> list:
+        out = [0] * 16
+        for c in range(4):
+            col = state[4 * c:4 * c + 4]
+            out[4 * c + 0] = _gf_mul(col[0], 2) ^ _gf_mul(col[1], 3) ^ col[2] ^ col[3]
+            out[4 * c + 1] = col[0] ^ _gf_mul(col[1], 2) ^ _gf_mul(col[2], 3) ^ col[3]
+            out[4 * c + 2] = col[0] ^ col[1] ^ _gf_mul(col[2], 2) ^ _gf_mul(col[3], 3)
+            out[4 * c + 3] = _gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ _gf_mul(col[3], 2)
+        return out
+
+    @staticmethod
+    def _inv_mix_columns(state: list) -> list:
+        out = [0] * 16
+        for c in range(4):
+            col = state[4 * c:4 * c + 4]
+            out[4 * c + 0] = _gf_mul(col[0], 14) ^ _gf_mul(col[1], 11) ^ _gf_mul(col[2], 13) ^ _gf_mul(col[3], 9)
+            out[4 * c + 1] = _gf_mul(col[0], 9) ^ _gf_mul(col[1], 14) ^ _gf_mul(col[2], 11) ^ _gf_mul(col[3], 13)
+            out[4 * c + 2] = _gf_mul(col[0], 13) ^ _gf_mul(col[1], 9) ^ _gf_mul(col[2], 14) ^ _gf_mul(col[3], 11)
+            out[4 * c + 3] = _gf_mul(col[0], 11) ^ _gf_mul(col[1], 13) ^ _gf_mul(col[2], 9) ^ _gf_mul(col[3], 14)
+        return out
+
+    # -- block operations ---------------------------------------------------
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise ValueError("block must be 16 bytes")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[0])
+        for rnd in range(1, self.rounds):
+            self._sub_bytes(state, _SBOX)
+            state = self._shift_rows(state)
+            state = self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[rnd])
+        self._sub_bytes(state, _SBOX)
+        state = self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[self.rounds])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise ValueError("block must be 16 bytes")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[self.rounds])
+        for rnd in range(self.rounds - 1, 0, -1):
+            state = self._inv_shift_rows(state)
+            self._sub_bytes(state, _INV_SBOX)
+            self._add_round_key(state, self._round_keys[rnd])
+            state = self._inv_mix_columns(state)
+        state = self._inv_shift_rows(state)
+        self._sub_bytes(state, _INV_SBOX)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)

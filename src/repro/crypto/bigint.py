@@ -1,0 +1,68 @@
+"""Big-integer helpers for the from-scratch public-key crypto.
+
+Python integers are arbitrary precision, so "bigint" here means the
+number-theoretic utilities RSA/ECC need: modular inverse, CRT, and the
+octet-string conversions of PKCS#1 (I2OSP / OS2IP).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = ["egcd", "modinv", "crt_pair", "i2osp", "os2ip", "bit_length",
+           "byte_length"]
+
+
+def egcd(a: int, b: int) -> Tuple[int, int, int]:
+    """Extended Euclid: returns ``(g, x, y)`` with ``a*x + b*y == g``."""
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+        old_t, t = t, old_t - q * t
+    return old_r, old_s, old_t
+
+
+def modinv(a: int, n: int) -> int:
+    """Modular inverse of ``a`` mod ``n``; raises if not invertible."""
+    # pow(a, -1, n) is the fast C path; it raises ValueError when gcd != 1.
+    try:
+        return pow(a, -1, n)
+    except ValueError:
+        raise ValueError(f"{a} is not invertible modulo {n}") from None
+
+
+def crt_pair(mp: int, mq: int, p: int, q: int, qinv: int) -> int:
+    """Garner's CRT recombination for RSA: given ``m mod p`` and
+    ``m mod q``, return ``m mod p*q``.
+
+    ``qinv`` must be ``q^-1 mod p`` (the PKCS#1 ``qInv`` coefficient).
+    """
+    h = (qinv * (mp - mq)) % p
+    return mq + q * h
+
+
+def bit_length(n: int) -> int:
+    return n.bit_length()
+
+
+def byte_length(n: int) -> int:
+    """Octet length of ``n`` (at least 1, so 0 encodes as one byte)."""
+    return max(1, (n.bit_length() + 7) // 8)
+
+
+def i2osp(x: int, length: int) -> bytes:
+    """PKCS#1 integer-to-octet-string; raises if ``x`` does not fit."""
+    if x < 0:
+        raise ValueError("negative integer")
+    if x >= 1 << (8 * length):
+        raise ValueError(f"integer too large for {length} octets")
+    return x.to_bytes(length, "big")
+
+
+def os2ip(octets: bytes) -> int:
+    """PKCS#1 octet-string-to-integer."""
+    return int.from_bytes(octets, "big")

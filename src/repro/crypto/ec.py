@@ -1,0 +1,253 @@
+"""Elliptic-curve group arithmetic over prime and binary fields.
+
+Implements the six NIST curves the paper evaluates (Figure 7c):
+P-256, P-384 (prime field, short Weierstrass ``y^2 = x^3 + ax + b``)
+and B-283, B-409, K-283, K-409 (binary field, non-supersingular
+``y^2 + xy = x^3 + ax^2 + b``).
+
+Curve constants are extracted from OpenSSL (see
+:mod:`repro.crypto.curve_constants`); parameter integrity is checked by
+tests (generator on curve, ``n*G == O``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from .bigint import modinv
+from .curve_constants import CURVE_CONSTANTS
+from .gf2m import BinaryField
+
+__all__ = ["Point", "INFINITY", "Curve", "PrimeCurve", "BinaryCurve",
+           "get_curve", "list_curves", "EcError"]
+
+
+class EcError(ValueError):
+    """Raised on invalid points or parameters."""
+
+
+@dataclass(frozen=True)
+class Point:
+    """An affine curve point; ``INFINITY`` is the identity."""
+
+    x: Optional[int]
+    y: Optional[int]
+
+    @property
+    def is_infinity(self) -> bool:
+        return self.x is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_infinity:
+            return "Point(INF)"
+        return f"Point(x=0x{self.x:x}, y=0x{self.y:x})"
+
+
+INFINITY = Point(None, None)
+
+
+class Curve:
+    """Abstract curve group. Subclasses implement the field-specific
+    addition law; scalar multiplication and validation live here."""
+
+    name: str
+    n: int   # order of the generator (prime)
+    h: int   # cofactor
+
+    def __init__(self, name: str, gx: int, gy: int, n: int, h: int) -> None:
+        self.name = name
+        self.n = n
+        self.h = h
+        self.generator = Point(gx, gy)
+
+    # -- subclass API ----------------------------------------------------
+
+    def add(self, p: Point, q: Point) -> Point:
+        raise NotImplementedError
+
+    def double(self, p: Point) -> Point:
+        raise NotImplementedError
+
+    def negate(self, p: Point) -> Point:
+        raise NotImplementedError
+
+    def is_on_curve(self, p: Point) -> bool:
+        raise NotImplementedError
+
+    @property
+    def field_bits(self) -> int:
+        raise NotImplementedError
+
+    # -- generic group ops -------------------------------------------------
+
+    def scalar_mult(self, k: int, p: Point) -> Point:
+        """Left-to-right double-and-add (timing is irrelevant here: the
+        performance model charges a fixed cost per scalar mult)."""
+        if p.is_infinity or k % self.n == 0:
+            return INFINITY
+        k %= self.n
+        result = INFINITY
+        addend = p
+        while k:
+            if k & 1:
+                result = self.add(result, addend)
+            addend = self.double(addend)
+            k >>= 1
+        return result
+
+    def base_mult(self, k: int) -> Point:
+        return self.scalar_mult(k, self.generator)
+
+    def validate_point(self, p: Point) -> None:
+        if p.is_infinity:
+            raise EcError("point at infinity is not a valid public point")
+        if not self.is_on_curve(p):
+            raise EcError(f"point not on curve {self.name}")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Curve {self.name}>"
+
+
+class PrimeCurve(Curve):
+    """Short Weierstrass curve over GF(p): ``y^2 = x^3 + ax + b``."""
+
+    def __init__(self, name: str, p: int, a: int, b: int, gx: int, gy: int,
+                 n: int, h: int, montgomery_friendly: bool = False) -> None:
+        super().__init__(name, gx, gy, n, h)
+        self.p = p
+        self.a = a % p
+        self.b = b % p
+        # Whether the prime admits the fast Montgomery-domain software
+        # implementation (Gueron-Krasnov) — drives Fig. 7c's SW anomaly.
+        self.montgomery_friendly = montgomery_friendly
+
+    @property
+    def field_bits(self) -> int:
+        return self.p.bit_length()
+
+    def is_on_curve(self, pt: Point) -> bool:
+        if pt.is_infinity:
+            return True
+        x, y = pt.x, pt.y
+        if not (0 <= x < self.p and 0 <= y < self.p):
+            return False
+        return (y * y - (x * x * x + self.a * x + self.b)) % self.p == 0
+
+    def negate(self, pt: Point) -> Point:
+        if pt.is_infinity:
+            return INFINITY
+        return Point(pt.x, (-pt.y) % self.p)
+
+    def add(self, p1: Point, p2: Point) -> Point:
+        if p1.is_infinity:
+            return p2
+        if p2.is_infinity:
+            return p1
+        if p1.x == p2.x:
+            if (p1.y + p2.y) % self.p == 0:
+                return INFINITY
+            return self.double(p1)
+        lam = ((p2.y - p1.y) * modinv(p2.x - p1.x, self.p)) % self.p
+        x3 = (lam * lam - p1.x - p2.x) % self.p
+        y3 = (lam * (p1.x - x3) - p1.y) % self.p
+        return Point(x3, y3)
+
+    def double(self, pt: Point) -> Point:
+        if pt.is_infinity or pt.y == 0:
+            return INFINITY
+        lam = ((3 * pt.x * pt.x + self.a) * modinv(2 * pt.y, self.p)) % self.p
+        x3 = (lam * lam - 2 * pt.x) % self.p
+        y3 = (lam * (pt.x - x3) - pt.y) % self.p
+        return Point(x3, y3)
+
+
+class BinaryCurve(Curve):
+    """Non-supersingular curve over GF(2^m): ``y^2 + xy = x^3 + ax^2 + b``."""
+
+    def __init__(self, name: str, poly: int, a: int, b: int, gx: int, gy: int,
+                 n: int, h: int) -> None:
+        super().__init__(name, gx, gy, n, h)
+        self.field = BinaryField(poly)
+        self.a = a
+        self.b = b
+
+    @property
+    def field_bits(self) -> int:
+        return self.field.m
+
+    def is_on_curve(self, pt: Point) -> bool:
+        if pt.is_infinity:
+            return True
+        f = self.field
+        x, y = pt.x, pt.y
+        if not (f.contains(x) and f.contains(y)):
+            return False
+        lhs = f.add(f.sqr(y), f.mul(x, y))
+        rhs = f.add(f.add(f.mul(f.sqr(x), x), f.mul(self.a, f.sqr(x))), self.b)
+        return lhs == rhs
+
+    def negate(self, pt: Point) -> Point:
+        if pt.is_infinity:
+            return INFINITY
+        # -(x, y) = (x, x + y) in characteristic 2.
+        return Point(pt.x, self.field.add(pt.x, pt.y))
+
+    def add(self, p1: Point, p2: Point) -> Point:
+        if p1.is_infinity:
+            return p2
+        if p2.is_infinity:
+            return p1
+        f = self.field
+        if p1.x == p2.x:
+            if p1.y == p2.y:
+                return self.double(p1)  # double() maps x == 0 to O
+            return INFINITY  # same x, different y => p2 == -p1
+        lam = f.div(f.add(p1.y, p2.y), f.add(p1.x, p2.x))
+        x3 = f.add(f.add(f.add(f.add(f.sqr(lam), lam), p1.x), p2.x), self.a)
+        y3 = f.add(f.add(f.mul(lam, f.add(p1.x, x3)), x3), p1.y)
+        return Point(x3, y3)
+
+    def double(self, pt: Point) -> Point:
+        if pt.is_infinity or pt.x == 0:
+            return INFINITY
+        f = self.field
+        lam = f.add(pt.x, f.div(pt.y, pt.x))
+        x3 = f.add(f.add(f.sqr(lam), lam), self.a)
+        y3 = f.add(f.mul(f.add(lam, 1), x3), f.sqr(pt.x))
+        return Point(x3, y3)
+
+
+# -- registry -----------------------------------------------------------
+
+_REGISTRY: Dict[str, Curve] = {}
+
+
+def _build_registry() -> None:
+    for name, c in CURVE_CONSTANTS.items():
+        if c["kind"] == "prime":
+            _REGISTRY[name] = PrimeCurve(
+                name, c["field"], c["a"], c["b"], c["gx"], c["gy"],
+                c["n"], c["h"],
+                montgomery_friendly=(name == "P-256"))
+        else:
+            _REGISTRY[name] = BinaryCurve(
+                name, c["field"], c["a"], c["b"], c["gx"], c["gy"],
+                c["n"], c["h"])
+
+
+_build_registry()
+
+
+def get_curve(name: str) -> Curve:
+    """Look up a registered curve by NIST name (e.g. ``"P-256"``)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise EcError(
+            f"unknown curve {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_curves() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))

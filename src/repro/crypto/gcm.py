@@ -1,0 +1,113 @@
+"""AES-128-GCM from scratch (NIST SP 800-38D).
+
+TLS 1.3 protects records with AEAD; this provides the real thing:
+CTR-mode encryption plus the GHASH authenticator over GF(2^128).
+"""
+
+from __future__ import annotations
+
+from .aes import AES128
+
+__all__ = ["AesGcm", "GcmAuthError"]
+
+
+class GcmAuthError(ValueError):
+    """Authentication tag mismatch."""
+
+
+# GHASH works in GF(2^128) with the "reversed-bit" polynomial
+# x^128 + x^7 + x^2 + x + 1; R is the reduction constant for the
+# right-shift formulation of the NIST spec.
+_R = 0xE1000000000000000000000000000000
+
+
+def _gf128_mul(x: int, y: int) -> int:
+    """Multiply in GF(2^128), NIST bit order."""
+    z = 0
+    v = x
+    for i in range(127, -1, -1):
+        if (y >> i) & 1:
+            z ^= v
+        if v & 1:
+            v = (v >> 1) ^ _R
+        else:
+            v >>= 1
+    return z
+
+
+def _inc32(block: bytes) -> bytes:
+    """Increment the rightmost 32 bits of a counter block."""
+    head, tail = block[:12], int.from_bytes(block[12:], "big")
+    return head + ((tail + 1) & 0xFFFFFFFF).to_bytes(4, "big")
+
+
+class AesGcm:
+    """AES-128 in Galois/Counter Mode with 96-bit nonces."""
+
+    TAG_LEN = 16
+
+    def __init__(self, key: bytes) -> None:
+        self._aes = AES128(key)
+        self._h = int.from_bytes(self._aes.encrypt_block(b"\x00" * 16),
+                                 "big")
+
+    # -- GHASH ------------------------------------------------------------
+
+    def _ghash(self, aad: bytes, ciphertext: bytes) -> bytes:
+        y = 0
+        for chunk in self._blocks(aad) + self._blocks(ciphertext):
+            y = _gf128_mul(y ^ int.from_bytes(chunk, "big"), self._h)
+        lengths = ((len(aad) * 8).to_bytes(8, "big")
+                   + (len(ciphertext) * 8).to_bytes(8, "big"))
+        y = _gf128_mul(y ^ int.from_bytes(lengths, "big"), self._h)
+        return y.to_bytes(16, "big")
+
+    @staticmethod
+    def _blocks(data: bytes) -> list:
+        out = []
+        for i in range(0, len(data), 16):
+            chunk = data[i:i + 16]
+            if len(chunk) < 16:
+                chunk = chunk + b"\x00" * (16 - len(chunk))
+            out.append(chunk)
+        return out
+
+    # -- CTR ---------------------------------------------------------------
+
+    def _ctr(self, counter0: bytes, data: bytes) -> bytes:
+        out = bytearray()
+        counter = counter0
+        for i in range(0, len(data), 16):
+            counter = _inc32(counter)
+            keystream = self._aes.encrypt_block(counter)
+            chunk = data[i:i + 16]
+            out += bytes(a ^ b for a, b in zip(chunk, keystream))
+        return bytes(out)
+
+    # -- AEAD interface -----------------------------------------------------
+
+    def seal(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+        """Encrypt + authenticate; returns ciphertext || tag."""
+        if len(nonce) != 12:
+            raise ValueError("GCM nonce must be 96 bits")
+        j0 = nonce + b"\x00\x00\x00\x01"
+        ciphertext = self._ctr(j0, plaintext)
+        s = self._ghash(aad, ciphertext)
+        ek_j0 = self._aes.encrypt_block(j0)
+        tag = bytes(a ^ b for a, b in zip(s, ek_j0))
+        return ciphertext + tag
+
+    def open(self, nonce: bytes, sealed: bytes, aad: bytes = b"") -> bytes:
+        """Verify + decrypt; raises :class:`GcmAuthError` on any change."""
+        if len(nonce) != 12:
+            raise ValueError("GCM nonce must be 96 bits")
+        if len(sealed) < self.TAG_LEN:
+            raise GcmAuthError("sealed input shorter than the tag")
+        ciphertext, tag = sealed[:-self.TAG_LEN], sealed[-self.TAG_LEN:]
+        j0 = nonce + b"\x00\x00\x00\x01"
+        s = self._ghash(aad, ciphertext)
+        ek_j0 = self._aes.encrypt_block(j0)
+        expect = bytes(a ^ b for a, b in zip(s, ek_j0))
+        if tag != expect:
+            raise GcmAuthError("GCM tag mismatch")
+        return self._ctr(j0, ciphertext)

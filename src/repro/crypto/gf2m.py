@@ -1,0 +1,98 @@
+"""Binary field GF(2^m) arithmetic in polynomial basis.
+
+Field elements are Python ints whose bits are polynomial coefficients.
+This backs the NIST B-/K- binary curves of the paper's Figure 7c.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BinaryField"]
+
+
+class BinaryField:
+    """GF(2^m) with a fixed irreducible reduction polynomial.
+
+    Parameters
+    ----------
+    modulus:
+        The reduction polynomial as an int, including the ``x^m`` term —
+        e.g. ``x^283 + x^12 + x^7 + x^5 + 1`` is
+        ``(1 << 283) | 0b1000010100001`` … exactly the encoding used by
+        the OpenSSL-extracted constants.
+    """
+
+    def __init__(self, modulus: int) -> None:
+        if modulus < 2:
+            raise ValueError("modulus must have degree >= 1")
+        self.modulus = modulus
+        self.m = modulus.bit_length() - 1
+
+    # -- basic ops -----------------------------------------------------
+
+    def reduce(self, x: int) -> int:
+        """Reduce a polynomial of any degree modulo the field polynomial."""
+        mod = self.modulus
+        m = self.m
+        deg = x.bit_length() - 1
+        while deg >= m:
+            x ^= mod << (deg - m)
+            deg = x.bit_length() - 1
+        return x
+
+    def add(self, a: int, b: int) -> int:
+        """Addition = XOR in characteristic 2."""
+        return a ^ b
+
+    def mul(self, a: int, b: int) -> int:
+        """Carry-less multiplication followed by reduction."""
+        if a == 0 or b == 0:
+            return 0
+        # Iterate over the sparser operand for speed.
+        if a.bit_count() > b.bit_count():
+            a, b = b, a
+        acc = 0
+        while a:
+            low = a & -a  # lowest set bit
+            acc ^= b << (low.bit_length() - 1)
+            a ^= low
+        return self.reduce(acc)
+
+    def sqr(self, a: int) -> int:
+        """Squaring: spread bits (the linear Frobenius map)."""
+        # Insert a zero bit between consecutive bits of a.
+        result = 0
+        i = 0
+        while a:
+            if a & 1:
+                result |= 1 << (2 * i)
+            a >>= 1
+            i += 1
+        return self.reduce(result)
+
+    def inv(self, a: int) -> int:
+        """Inverse via the binary extended Euclidean algorithm."""
+        if a == 0:
+            raise ZeroDivisionError("inverse of 0 in GF(2^m)")
+        a = self.reduce(a)
+        u, v = a, self.modulus
+        g1, g2 = 1, 0
+        while u != 1:
+            j = u.bit_length() - v.bit_length()
+            if j < 0:
+                u, v = v, u
+                g1, g2 = g2, g1
+                j = -j
+            u ^= v << j
+            g1 ^= g2 << j
+        return self.reduce(g1)
+
+    def div(self, a: int, b: int) -> int:
+        return self.mul(a, self.inv(b))
+
+    # -- validation ----------------------------------------------------
+
+    def contains(self, a: int) -> bool:
+        return 0 <= a < (1 << self.m)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GF(2^{self.m})"

@@ -1,0 +1,39 @@
+"""HMAC (RFC 2104) from scratch over the hashlib digest primitives.
+
+The hash compression functions themselves come from ``hashlib`` — they
+are CPU primitives in the real system too (SHA-NI); everything above
+them (HMAC, PRF, HKDF, record MACs) is built here.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["hmac_digest", "HmacKey"]
+
+
+def _block_size(hash_name: str) -> int:
+    return hashlib.new(hash_name).block_size
+
+
+def hmac_digest(key: bytes, message: bytes, hash_name: str = "sha256") -> bytes:
+    """One-shot HMAC."""
+    return HmacKey(key, hash_name).digest(message)
+
+
+class HmacKey:
+    """Precomputed-pad HMAC context, reusable across messages."""
+
+    def __init__(self, key: bytes, hash_name: str = "sha256") -> None:
+        self.hash_name = hash_name
+        block = _block_size(hash_name)
+        if len(key) > block:
+            key = hashlib.new(hash_name, key).digest()
+        key = key.ljust(block, b"\x00")
+        self._ipad = bytes(b ^ 0x36 for b in key)
+        self._opad = bytes(b ^ 0x5C for b in key)
+        self.digest_size = hashlib.new(hash_name).digest_size
+
+    def digest(self, message: bytes) -> bytes:
+        inner = hashlib.new(self.hash_name, self._ipad + message).digest()
+        return hashlib.new(self.hash_name, self._opad + inner).digest()

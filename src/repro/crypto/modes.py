@@ -1,0 +1,66 @@
+"""Block cipher modes of operation: CBC with PKCS#7 padding.
+
+TLS 1.2's AES128-SHA suite uses AES-CBC with an explicit per-record IV,
+then authenticates with HMAC (MAC-then-encrypt); the record layer in
+:mod:`repro.tls.record` composes these.
+"""
+
+from __future__ import annotations
+
+from .aes import AES128, BLOCK_SIZE
+
+__all__ = ["cbc_encrypt", "cbc_decrypt", "pkcs7_pad", "pkcs7_unpad",
+           "PaddingError"]
+
+
+class PaddingError(ValueError):
+    """Raised on malformed PKCS#7 padding."""
+
+
+def pkcs7_pad(data: bytes, block: int = BLOCK_SIZE) -> bytes:
+    padlen = block - (len(data) % block)
+    return data + bytes([padlen]) * padlen
+
+
+def pkcs7_unpad(data: bytes, block: int = BLOCK_SIZE) -> bytes:
+    if not data or len(data) % block:
+        raise PaddingError("data length not a multiple of the block size")
+    padlen = data[-1]
+    if not 1 <= padlen <= block:
+        raise PaddingError("invalid pad length")
+    if data[-padlen:] != bytes([padlen]) * padlen:
+        raise PaddingError("inconsistent padding bytes")
+    return data[:-padlen]
+
+
+def cbc_encrypt(key: bytes, iv: bytes, plaintext: bytes) -> bytes:
+    """CBC-encrypt ``plaintext`` (already padded to the block size)."""
+    if len(iv) != BLOCK_SIZE:
+        raise ValueError("IV must be one block")
+    if len(plaintext) % BLOCK_SIZE:
+        raise ValueError("plaintext must be padded to the block size")
+    cipher = AES128(key)
+    out = bytearray()
+    prev = iv
+    for i in range(0, len(plaintext), BLOCK_SIZE):
+        block = bytes(a ^ b for a, b in zip(plaintext[i:i + BLOCK_SIZE], prev))
+        prev = cipher.encrypt_block(block)
+        out += prev
+    return bytes(out)
+
+
+def cbc_decrypt(key: bytes, iv: bytes, ciphertext: bytes) -> bytes:
+    """CBC-decrypt; returns the (still padded) plaintext."""
+    if len(iv) != BLOCK_SIZE:
+        raise ValueError("IV must be one block")
+    if not ciphertext or len(ciphertext) % BLOCK_SIZE:
+        raise ValueError("ciphertext must be a positive multiple of the block size")
+    cipher = AES128(key)
+    out = bytearray()
+    prev = iv
+    for i in range(0, len(ciphertext), BLOCK_SIZE):
+        block = ciphertext[i:i + BLOCK_SIZE]
+        plain = cipher.decrypt_block(block)
+        out += bytes(a ^ b for a, b in zip(plain, prev))
+        prev = block
+    return bytes(out)

@@ -1,0 +1,30 @@
+"""The TLS 1.2 pseudo-random function (RFC 5246 section 5).
+
+``PRF(secret, label, seed) = P_hash(secret, label + seed)`` where
+``P_hash`` chains HMAC outputs. TLS 1.2 key derivation performs several
+of these per handshake — Table 1's PRF column.
+"""
+
+from __future__ import annotations
+
+from .hmac_impl import HmacKey
+
+__all__ = ["prf", "p_hash"]
+
+
+def p_hash(secret: bytes, seed: bytes, length: int,
+           hash_name: str = "sha256") -> bytes:
+    """The HMAC expansion chain P_hash (RFC 5246)."""
+    hk = HmacKey(secret, hash_name)
+    out = bytearray()
+    a = seed  # A(0)
+    while len(out) < length:
+        a = hk.digest(a)              # A(i) = HMAC(secret, A(i-1))
+        out += hk.digest(a + seed)
+    return bytes(out[:length])
+
+
+def prf(secret: bytes, label: bytes, seed: bytes, length: int,
+        hash_name: str = "sha256") -> bytes:
+    """TLS 1.2 PRF; ``label`` is e.g. ``b"master secret"``."""
+    return p_hash(secret, label + seed, length, hash_name)

@@ -1,0 +1,9 @@
+"""Crypto execution engines (software baseline + QAT Engine layer)."""
+
+from .base import Engine
+from .inflight import InflightCounters
+from .qat_engine import ALGORITHM_GROUPS, QatEngine, RingFull
+from .software import SoftwareEngine
+
+__all__ = ["Engine", "SoftwareEngine", "QatEngine", "RingFull",
+           "InflightCounters", "ALGORITHM_GROUPS"]

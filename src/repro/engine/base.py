@@ -1,0 +1,38 @@
+"""Engine interface: where crypto operations get executed.
+
+Mirrors the OpenSSL engine concept. The SSL layer hands each
+:class:`~repro.tls.actions.CryptoCall` to an engine:
+
+- :class:`~repro.engine.software.SoftwareEngine` runs it on the
+  worker's CPU core (the SW baseline);
+- :class:`~repro.engine.qat_engine.QatEngine` offloads offloadable ops
+  to a QAT instance, either blocking (straight mode, QAT+S) or
+  asynchronously (the QTLS framework).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..tls.actions import CryptoCall
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """Abstract crypto execution engine (simulation-side)."""
+
+    #: True when async offload (pause/resume) is supported.
+    supports_async = False
+
+    def execute_blocking(self, call: CryptoCall, owner: object
+                         ) -> Generator:
+        """Run the op to completion before returning its result.
+
+        A sim generator: ``result = yield from engine.execute_blocking(...)``.
+        """
+        raise NotImplementedError
+
+    def offloads(self, call: CryptoCall) -> bool:
+        """Whether this engine would offload the op (vs. run on CPU)."""
+        return False

@@ -1,0 +1,224 @@
+"""The QAT Engine layer: bridge between the TLS library and the QAT
+driver (paper sections 2.3, 3.2, 4.3).
+
+Two execution modes:
+
+- **straight (blocking)** — :meth:`QatEngine.execute_blocking`:
+  submit, then hold the worker's core until the response arrives
+  (busy-looping on the response ring). This is the QAT+S
+  configuration and exhibits exactly the offload-I/O blocking the
+  paper diagnoses (section 2.4).
+- **async** — :meth:`QatEngine.submit_async` +
+  :meth:`QatEngine.poll_and_dispatch`: submit with a registered
+  response cookie and return immediately; a polling scheme later
+  retrieves responses and the engine resumes the paused offload jobs
+  through their wait-ctx callbacks / notification FDs.
+
+Non-offloadable ops (HKDF) and ops excluded by the configured
+``default_algorithm`` set always run on the CPU via the software path.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable, List, Optional, Sequence, Set, Union
+
+from ..core.costmodel import CostModel
+from ..cpu.core import Core
+from ..crypto.ops import CryptoOpKind
+from ..net.epoll_sim import NOTIFY_FD_WRITE_COST
+from ..qat.driver import SUBMIT_CPU_COST, QatUserspaceDriver
+from ..tls.actions import CryptoCall
+from .base import Engine
+from .inflight import InflightCounters
+
+__all__ = ["QatEngine", "RingFull", "ALGORITHM_GROUPS"]
+
+#: ``default_algorithm`` groups accepted by the ssl_engine framework
+#: (appendix A.7): which op kinds each group enables for offload.
+ALGORITHM_GROUPS = {
+    "RSA": {CryptoOpKind.RSA_PRIV, CryptoOpKind.RSA_PUB},
+    "EC": {CryptoOpKind.ECDSA_SIGN, CryptoOpKind.ECDSA_VERIFY,
+           CryptoOpKind.ECDH_KEYGEN, CryptoOpKind.ECDH_COMPUTE},
+    "DH": set(),
+    "PKEY_CRYPTO": {CryptoOpKind.PRF},
+    "CIPHER": {CryptoOpKind.RECORD_CIPHER},
+}
+
+
+class RingFull(RuntimeError):
+    """Submission failed because the hardware request ring is full."""
+
+
+class QatEngine(Engine):
+    """Per-worker QAT engine bound to one or more crypto instances.
+
+    One instance is the paper's default deployment; assigning a worker
+    several instances from different endpoints employs more
+    computation engines (section 2.3: "one process can be assigned
+    with multiple QAT instances from different endpoints"). Submission
+    round-robins across instances; polling drains all of them.
+    """
+
+    supports_async = True
+
+    def __init__(self,
+                 driver: Union[QatUserspaceDriver,
+                               Sequence[QatUserspaceDriver]],
+                 core: Core, cost_model: CostModel,
+                 algorithms: Iterable[str] = ("RSA", "EC", "PKEY_CRYPTO",
+                                              "CIPHER"),
+                 busy_poll_slice: float = 1.5e-6) -> None:
+        if isinstance(driver, QatUserspaceDriver):
+            self.drivers: List[QatUserspaceDriver] = [driver]
+        else:
+            self.drivers = list(driver)
+            if not self.drivers:
+                raise ValueError("need at least one driver")
+        self.driver = self.drivers[0]  # primary (compat/introspection)
+        self._rr = 0
+        self.core = core
+        self.cost_model = cost_model
+        self.busy_poll_slice = busy_poll_slice
+        self.inflight = InflightCounters()
+        self._enabled_kinds: Set[CryptoOpKind] = set()
+        for group in algorithms:
+            try:
+                self._enabled_kinds |= ALGORITHM_GROUPS[group]
+            except KeyError:
+                raise ValueError(f"unknown algorithm group {group!r}") \
+                    from None
+        self.ops_offloaded = 0
+        self.ops_software = 0
+        self.responses_dispatched = 0
+        # Cycle accounting (CPU seconds) for the utilization analyses.
+        self.software_crypto_time = 0.0
+        self.blocking_wait_time = 0.0
+        self.submit_time = 0.0
+        self.poll_time = 0.0
+
+    # -- engine command (paper section 4.3) ---------------------------------
+
+    def get_num_requests_in_flight(self) -> int:
+        """The new engine command exposing Rtotal to the application."""
+        return self.inflight.total
+
+    def offloads(self, call: CryptoCall) -> bool:
+        return (call.op.qat_offloadable
+                and call.op.kind in self._enabled_kinds)
+
+    def _try_submit(self, op, compute, cookie=None) -> bool:
+        """Round-robin submission across instances; tries every
+        instance before reporting ring-full."""
+        n = len(self.drivers)
+        for i in range(n):
+            drv = self.drivers[(self._rr + i) % n]
+            if drv.try_submit(op, compute, cookie=cookie):
+                self._rr = (self._rr + i + 1) % n
+                return True
+        return False
+
+    def _poll_all(self, max_responses=None) -> List:
+        responses: List = []
+        for drv in self.drivers:
+            budget = (None if max_responses is None
+                      else max_responses - len(responses))
+            if budget == 0:
+                break
+            responses.extend(drv.poll(budget))
+        return responses
+
+    # -- software fallback ----------------------------------------------------
+
+    def _execute_software(self, call: CryptoCall, owner: object
+                          ) -> Generator:
+        cost = self.cost_model.software_cost(call.op)
+        yield from self.core.consume(cost, owner=owner)
+        self.ops_software += 1
+        self.software_crypto_time += cost
+        return call.compute()
+
+    # -- straight (blocking) offload -------------------------------------------
+
+    def execute_blocking(self, call: CryptoCall, owner: object
+                         ) -> Generator:
+        """QAT+S: submit, then spin on the worker's core until the
+        response lands. The core does no other work meanwhile — the
+        blocking the paper's Figure 3 illustrates."""
+        if not self.offloads(call):
+            return (yield from self._execute_software(call, owner))
+        yield from self.core.consume(SUBMIT_CPU_COST, owner=owner)
+        self.submit_time += SUBMIT_CPU_COST
+        while not self._try_submit(call.op, call.compute):
+            # Ring full: keep retrying (nothing else can progress).
+            yield from self.core.consume(self.busy_poll_slice, owner=owner)
+            self.blocking_wait_time += self.busy_poll_slice
+        self.inflight.increment(call.op.category)
+        self.ops_offloaded += 1
+        wait_started = self.core.sim.now
+        while True:
+            responses = self._poll_all()
+            yield from self.core.consume(
+                self.driver.poll_cpu_cost(len(responses)), owner=owner)
+            if responses:
+                break
+            yield from self.core.consume(self.busy_poll_slice, owner=owner)
+        self.blocking_wait_time += self.core.sim.now - wait_started
+        # Straight mode has exactly one outstanding request per worker.
+        (resp,) = responses
+        self.inflight.decrement(resp.request.op.category)
+        if resp.error is not None:
+            raise resp.error
+        return resp.result
+
+    # -- asynchronous offload ----------------------------------------------------
+
+    def submit_async(self, call: CryptoCall, job: object, owner: object
+                     ) -> Generator:
+        """Submit without waiting; the response resumes ``job`` later.
+
+        Returns True on success, False when the request ring is full
+        (the offload job must pause in retry state — section 3.2).
+        """
+        if not self.offloads(call):
+            raise ValueError(
+                f"submit_async on non-offloadable op {call.op.kind}")
+        yield from self.core.consume(SUBMIT_CPU_COST, owner=owner)
+        self.submit_time += SUBMIT_CPU_COST
+        ok = self._try_submit(call.op, call.compute, cookie=job)
+        if ok:
+            self.inflight.increment(call.op.category)
+            self.ops_offloaded += 1
+        return ok
+
+    def poll_and_dispatch(self, owner: object,
+                          max_responses: Optional[int] = None
+                          ) -> Generator:
+        """One polling operation: retrieve responses, decrement the
+        inflight counters, and fire each job's registered notification
+        (async-queue callback or notification FD).
+
+        Returns the list of jobs whose responses were delivered.
+        """
+        responses = self._poll_all(max_responses)
+        poll_cost = self.driver.poll_cpu_cost(len(responses))
+        self.poll_time += poll_cost
+        yield from self.core.consume(poll_cost, owner=owner)
+        jobs: List[object] = []
+        for resp in responses:
+            self.inflight.decrement(resp.request.op.category)
+            job = resp.cookie
+            job.deliver(resp.result, resp.error)
+            self.responses_dispatched += 1
+            # The response callback (paper section 4.4): kernel-bypass
+            # callback wins if set; otherwise the FD-based path.
+            callback, arg = job.wait_ctx.get_callback()
+            if callback is not None:
+                yield from self.core.consume(
+                    self.cost_model.async_queue_cost, owner=owner)
+                callback(arg)
+            elif job.wait_ctx.notify_fd is not None:
+                yield from self.core.kernel_crossing(
+                    extra=NOTIFY_FD_WRITE_COST)
+                job.wait_ctx.notify_fd.write_event()
+            jobs.append(job)
+        return jobs

@@ -1,0 +1,17 @@
+"""Simulated network substrate: links, sockets, epoll, TCP setup."""
+
+from .epoll_sim import (EPOLL_CTL_COST, EPOLL_PER_EVENT_COST,
+                        EPOLL_WAIT_BASE_COST, NOTIFY_FD_READ_COST,
+                        NOTIFY_FD_WRITE_COST, Epoll, NotifyFd)
+from .link import Link
+from .network import TCP_HANDSHAKE_BYTES, Listener, Network
+from .pollable import Pollable, wait_readable
+from .socket_sim import SimSocket, SocketClosed, socket_pair
+
+__all__ = [
+    "Link", "SimSocket", "SocketClosed", "socket_pair", "Pollable",
+    "Epoll", "NotifyFd", "Network", "Listener", "TCP_HANDSHAKE_BYTES",
+    "wait_readable",
+    "EPOLL_WAIT_BASE_COST", "EPOLL_PER_EVENT_COST", "EPOLL_CTL_COST",
+    "NOTIFY_FD_WRITE_COST", "NOTIFY_FD_READ_COST",
+]

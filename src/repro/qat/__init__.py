@@ -1,0 +1,25 @@
+"""Simulated Intel QuickAssist accelerator.
+
+Endpoints with parallel computation engines, hardware ring pairs,
+crypto instances, a userspace driver facade, and firmware counters —
+the substrate QTLS offloads to (paper section 2.3).
+"""
+
+from .device import QatDevice, dh8970
+from .driver import (POLL_CPU_COST, POLL_PER_RESPONSE_CPU_COST,
+                     SUBMIT_CPU_COST, QatUserspaceDriver)
+from .endpoint import QatEndpoint
+from .firmware import FirmwareCounters
+from .instance import CryptoInstance
+from .request import QatRequest, QatResponse
+from .rings import DEFAULT_RING_CAPACITY, RingPair
+from .service_times import (PCIE_LATENCY, qat_pipeline_latency,
+                            qat_service_time)
+
+__all__ = [
+    "QatDevice", "dh8970", "QatEndpoint", "CryptoInstance", "RingPair",
+    "QatRequest", "QatResponse", "QatUserspaceDriver", "FirmwareCounters",
+    "qat_service_time", "qat_pipeline_latency", "PCIE_LATENCY",
+    "DEFAULT_RING_CAPACITY",
+    "SUBMIT_CPU_COST", "POLL_CPU_COST", "POLL_PER_RESPONSE_CPU_COST",
+]

@@ -1,0 +1,68 @@
+"""Userspace QAT driver facade.
+
+QTLS uses userspace I/O for crypto offloading: one userspace polling
+operation is far cheaper than a kernel interrupt (paper section 3.3),
+so the driver exposes a non-blocking submit and an explicit poll. CPU
+costs of these calls are charged by the *caller* (the engine layer /
+polling schemes) because they run on the worker's core.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from ..crypto.ops import CryptoOp
+from .instance import CryptoInstance
+from .request import QatRequest, QatResponse
+
+__all__ = ["QatUserspaceDriver", "SUBMIT_CPU_COST", "POLL_CPU_COST",
+           "POLL_PER_RESPONSE_CPU_COST"]
+
+#: CPU cost of writing one request descriptor onto a ring.
+SUBMIT_CPU_COST = 1.2e-6
+#: CPU cost of one polling operation (checking the response rings).
+POLL_CPU_COST = 0.6e-6
+#: Additional CPU cost per retrieved response (descriptor handling).
+POLL_PER_RESPONSE_CPU_COST = 0.4e-6
+
+
+class QatUserspaceDriver:
+    """Thin non-blocking facade over a crypto instance's rings."""
+
+    def __init__(self, instance: CryptoInstance) -> None:
+        self.instance = instance
+        self.submitted = 0
+        self.submit_failures = 0
+        self.polls = 0
+        self.empty_polls = 0
+        self.responses_retrieved = 0
+
+    def try_submit(self, op: CryptoOp, compute: Callable[[], Any],
+                   cookie: Any = None) -> bool:
+        """Submit a request; returns False when the ring is full (the
+        caller pauses the offload job and retries — paper section 3.2)."""
+        request = QatRequest(op=op, compute=compute, cookie=cookie)
+        ok = self.instance.try_submit(request)
+        if ok:
+            self.submitted += 1
+        else:
+            self.submit_failures += 1
+        return ok
+
+    def poll(self, max_responses: Optional[int] = None) -> List[QatResponse]:
+        """Retrieve available responses (non-blocking)."""
+        self.polls += 1
+        responses = self.instance.poll(max_responses)
+        if not responses:
+            self.empty_polls += 1
+        self.responses_retrieved += len(responses)
+        return responses
+
+    def poll_cpu_cost(self, n_responses: int) -> float:
+        """CPU time the caller must charge for a poll that returned
+        ``n_responses`` responses."""
+        return POLL_CPU_COST + POLL_PER_RESPONSE_CPU_COST * n_responses
+
+    @property
+    def in_flight(self) -> int:
+        return self.instance.in_flight

@@ -1,0 +1,125 @@
+"""A QAT endpoint: parallel computation engines + instance rings.
+
+The endpoint's hardware scheduler load-balances requests from all
+assigned instances' rings across all available computation engines
+(paper Figure 2). Concurrent requests from a *single* instance run in
+parallel as long as engines are free — the parallelism QTLS unlocks
+(paper section 2.3 "Parallelism").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from ..sim.resources import Resource
+from .firmware import FirmwareCounters
+from .instance import CryptoInstance
+from .request import QatRequest, QatResponse
+from .rings import DEFAULT_RING_CAPACITY, RingPair
+from .service_times import (PCIE_LATENCY, qat_pipeline_latency,
+                            qat_service_time)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.kernel import Simulator
+
+__all__ = ["QatEndpoint"]
+
+
+class QatEndpoint:
+    """One QAT silicon endpoint with ``n_engines`` computation engines."""
+
+    def __init__(self, sim: "Simulator", endpoint_id: int,
+                 n_engines: int = 10,
+                 ring_capacity: int = DEFAULT_RING_CAPACITY,
+                 pcie_latency: float = PCIE_LATENCY) -> None:
+        if n_engines < 1:
+            raise ValueError("need at least one engine")
+        self.sim = sim
+        self.endpoint_id = endpoint_id
+        self.n_engines = n_engines
+        self.ring_capacity = ring_capacity
+        self.pcie_latency = pcie_latency
+        self.engines = Resource(sim, n_engines, name=f"qat{endpoint_id}-eng")
+        self.instances: List[CryptoInstance] = []
+        self.fw_counters = FirmwareCounters()
+        self._rr_cursor = 0  # round-robin over instance rings
+
+    # -- provisioning ---------------------------------------------------
+
+    def create_instance(self) -> CryptoInstance:
+        """Allocate a crypto instance (a logical unit assignable to one
+        process/thread — paper section 2.3)."""
+        inst_id = len(self.instances)
+        rings = {
+            cat: RingPair(self.sim, f"ep{self.endpoint_id}-i{inst_id}-{cat}",
+                          self.ring_capacity)
+            for cat in ("asym", "cipher", "prf")
+        }
+        inst = CryptoInstance(self, inst_id, rings)
+        self.instances.append(inst)
+        return inst
+
+    # -- submission path ----------------------------------------------------
+
+    def notify_submission(self) -> None:
+        """Called by an instance after a successful ring write; starts
+        the hardware pull if engines are idle."""
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        """Hand pending ring entries to free engines (round-robin over
+        rings for fairness, like the hardware load balancer)."""
+        while self.engines.available > 0:
+            req_ring = self._next_nonempty_ring()
+            if req_ring is None:
+                return
+            request = req_ring.take_request()
+            assert request is not None
+            grant = self.engines.request()
+            assert grant.triggered  # capacity was checked above
+            self.sim.process(self._run_engine(request, req_ring),
+                             name=f"qat-exec-{request.request_id}")
+
+    def _next_nonempty_ring(self) -> Optional[RingPair]:
+        rings: List[RingPair] = []
+        for inst in self.instances:
+            rings.extend(inst.rings.values())
+        if not rings:
+            return None
+        n = len(rings)
+        for i in range(n):
+            ring = rings[(self._rr_cursor + i) % n]
+            if ring.pending_requests:
+                self._rr_cursor = (self._rr_cursor + i + 1) % n
+                return ring
+        return None
+
+    def _run_engine(self, request: QatRequest, ring: RingPair):
+        """One engine executing one request (a simulation process)."""
+        # Inbound DMA + calculation (engine occupied).
+        service = qat_service_time(request.op)
+        yield self.sim.timeout(self.pcie_latency + service)
+        response = QatResponse(request)
+        try:
+            response.result = request.compute()
+        except Exception as exc:  # functional failure -> errored response
+            response.error = exc
+        self.fw_counters.record(request.op, ok=response.ok)
+        # The engine frees up now; completion continues down the
+        # response pipeline (firmware + outbound DMA) without holding
+        # engine capacity.
+        self.engines.release()
+        self._dispatch()  # pull more work if rings are backed up
+        yield self.sim.timeout(self.pcie_latency
+                               + qat_pipeline_latency(request.op))
+        ring.land_response(response)
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def busy_engines(self) -> int:
+        return self.engines.in_use
+
+    def total_in_flight(self) -> int:
+        return sum(r.in_flight for inst in self.instances
+                   for r in inst.rings.values())

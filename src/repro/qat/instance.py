@@ -1,0 +1,73 @@
+"""QAT crypto instances.
+
+A crypto instance groups several ring pairs (one per crypto type) and
+is the logical unit assigned to a process/thread (paper section 2.3).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from ..crypto.ops import OpCategory
+from .request import QatRequest, QatResponse
+from .rings import RingPair
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .endpoint import QatEndpoint
+
+__all__ = ["CryptoInstance"]
+
+
+class CryptoInstance:
+    """A logical QAT unit: one ring pair per op category."""
+
+    def __init__(self, endpoint: "QatEndpoint", instance_id: int,
+                 rings: Dict[str, RingPair]) -> None:
+        self.endpoint = endpoint
+        self.instance_id = instance_id
+        self.rings = rings
+        self.owner: Optional[object] = None  # the worker it is assigned to
+
+    def _ring_for(self, category: OpCategory) -> RingPair:
+        return self.rings[category.value]
+
+    # -- driver-facing API ---------------------------------------------------
+
+    def try_submit(self, request: QatRequest) -> bool:
+        """Non-blocking submission; False when the target ring is full."""
+        ring = self._ring_for(request.op.category)
+        if not ring.try_submit(request):
+            return False
+        self.endpoint.notify_submission()
+        return True
+
+    def poll(self, max_responses: Optional[int] = None) -> List[QatResponse]:
+        """Retrieve available responses across this instance's rings."""
+        out: List[QatResponse] = []
+        for ring in self.rings.values():
+            budget = None if max_responses is None \
+                else max_responses - len(out)
+            if budget == 0:
+                break
+            out.extend(ring.poll_responses(budget))
+        return out
+
+    def set_response_callback(self, callback) -> None:
+        """Arm hardware interrupts: ``callback(ring)`` fires whenever a
+        response lands on any of this instance's rings."""
+        for ring in self.rings.values():
+            ring.response_callback = callback
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        return sum(r.in_flight for r in self.rings.values())
+
+    @property
+    def available_responses(self) -> int:
+        return sum(r.available_responses for r in self.rings.values())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<CryptoInstance ep{self.endpoint.endpoint_id}"
+                f"/i{self.instance_id}>")

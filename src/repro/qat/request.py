@@ -1,0 +1,56 @@
+"""QAT request/response records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any, Callable, Optional
+
+from ..crypto.ops import CryptoOp
+
+__all__ = ["QatRequest", "QatResponse"]
+
+_request_ids = count(1)
+
+
+@dataclass
+class QatRequest:
+    """A crypto request written to a request ring.
+
+    ``compute`` is the deferred functional computation (a zero-argument
+    callable returning the crypto result); the device model executes it
+    when the simulated calculation completes, so results exist exactly
+    when the simulation says they do.
+    """
+
+    op: CryptoOp
+    compute: Callable[[], Any]
+    cookie: Any = None  # opaque engine-layer context (offload job ref)
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    submitted_at: Optional[float] = None
+
+
+@dataclass
+class QatResponse:
+    """A completion landed on a response ring."""
+
+    request: QatRequest
+    result: Any = None
+    error: Optional[BaseException] = None
+    completed_at: Optional[float] = None
+    retrieved_at: Optional[float] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def cookie(self) -> Any:
+        return self.request.cookie
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Submit-to-retrieve latency, once retrieved."""
+        if self.retrieved_at is None or self.request.submitted_at is None:
+            return None
+        return self.retrieved_at - self.request.submitted_at

@@ -1,0 +1,105 @@
+"""Server configuration, including the SSL Engine Framework settings
+(artifact appendix A.7): offload mode, notify mode, poll mode, and the
+heuristic thresholds — all the knobs the ``ssl_engine`` block of the
+paper's extended Nginx conf exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+__all__ = ["SslEngineConfig", "ServerConfig"]
+
+
+@dataclass
+class SslEngineConfig:
+    """The ``ssl_engine { qat_engine { ... } }`` block."""
+
+    use_engine: str = "qat_engine"                # or "" for software
+    default_algorithm: Tuple[str, ...] = ("RSA", "EC", "PKEY_CRYPTO",
+                                          "CIPHER")
+    #: "sync" = straight offload; "async" = the QTLS framework.
+    qat_offload_mode: str = "async"
+    #: How QAT completions reach software: "poll" (userspace polling,
+    #: QTLS's choice) or "interrupt" (kernel IRQ path — modelled so the
+    #: section 3.3 trade-off can be measured).
+    qat_notify_mode: str = "poll"
+    #: "timer" = independent polling thread; "heuristic" = section 3.3.
+    qat_poll_mode: str = "heuristic"
+    qat_timer_poll_interval: float = 10e-6
+    qat_heuristic_poll_asym_threshold: int = 48
+    qat_heuristic_poll_sym_threshold: int = 24
+    #: Failover timer for the heuristic scheme (section 4.3).
+    qat_failover_timer: float = 5e-3
+    #: QAT crypto instances assigned to each worker (section 2.3:
+    #: multiple instances from different endpoints employ more
+    #: computation engines).
+    qat_instances_per_worker: int = 1
+
+    def validate(self) -> None:
+        if self.use_engine not in ("", "qat_engine"):
+            raise ValueError(f"unknown engine {self.use_engine!r}")
+        if self.qat_offload_mode not in ("sync", "async"):
+            raise ValueError(
+                f"unknown offload mode {self.qat_offload_mode!r}")
+        if self.qat_notify_mode not in ("poll", "interrupt"):
+            raise ValueError(
+                f"unknown notify mode {self.qat_notify_mode!r}")
+        if self.qat_poll_mode not in ("timer", "heuristic"):
+            raise ValueError(f"unknown poll mode {self.qat_poll_mode!r}")
+        if self.qat_timer_poll_interval <= 0:
+            raise ValueError("poll interval must be positive")
+        if (self.qat_heuristic_poll_asym_threshold < 1
+                or self.qat_heuristic_poll_sym_threshold < 1):
+            raise ValueError("heuristic thresholds must be >= 1")
+        if self.qat_instances_per_worker < 1:
+            raise ValueError("need at least one instance per worker")
+
+
+@dataclass
+class ServerConfig:
+    """Top-level Nginx-like configuration."""
+
+    worker_processes: int = 1
+    listen: str = "https"
+    #: TLS suites enabled, in server preference order (names).
+    suites: Tuple[str, ...] = ("TLS-RSA",)
+    curves: Tuple[str, ...] = ("P-256",)
+    rsa_bits: int = 2048
+    #: TLS protocol version: "1.2" or "1.3".
+    tls_version: str = "1.2"
+    session_cache_enabled: bool = True
+    session_lifetime: float = 3600.0
+    #: Issue stateless session tickets (RFC 5077) alongside the cache.
+    session_tickets: bool = False
+    keepalive: bool = True
+    #: Async-notification scheme: "fd" (epoll-monitored notification
+    #: FDs) or "queue" (kernel-bypass async queue).
+    async_notify_mode: str = "fd"
+    #: OpenSSL async implementation: "fiber" or "stack" (section 4.1).
+    async_impl: str = "fiber"
+    #: Share one notification FD across all async jobs of a connection
+    #: (the section 4.4 optimization). False allocates one per job.
+    share_notify_fd: bool = True
+    ssl_engine: SslEngineConfig = field(default_factory=SslEngineConfig)
+
+    def validate(self) -> None:
+        if self.worker_processes < 1:
+            raise ValueError("need at least one worker")
+        if self.tls_version not in ("1.2", "1.3"):
+            raise ValueError(f"unsupported TLS version {self.tls_version!r}")
+        if self.async_notify_mode not in ("fd", "queue"):
+            raise ValueError(
+                f"unknown notify mode {self.async_notify_mode!r}")
+        if self.async_impl not in ("fiber", "stack"):
+            raise ValueError(f"unknown async impl {self.async_impl!r}")
+        self.ssl_engine.validate()
+
+    @property
+    def uses_qat(self) -> bool:
+        return self.ssl_engine.use_engine == "qat_engine"
+
+    @property
+    def async_offload(self) -> bool:
+        return self.uses_qat and self.ssl_engine.qat_offload_mode == "async"

@@ -1,0 +1,152 @@
+"""Master process: provisions cores, listeners, QAT instances and
+workers (the paper's deployment shape, section 5.1: N workers on N
+dedicated HT cores, one QAT instance per worker, instances spread
+evenly over the card's endpoints)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.costmodel import CostModel, default_cost_model
+from ..cpu.core import CpuTopology
+from ..crypto.provider import CryptoProvider
+from ..engine.qat_engine import QatEngine
+from ..engine.software import SoftwareEngine
+from ..net.network import Network
+from ..qat.device import QatDevice
+from ..qat.driver import QatUserspaceDriver
+from ..sim.rng import RngRegistry
+from ..ssl.context import SslContext
+from ..tls.config import TlsServerConfig
+from ..tls.constants import ProtocolVersion
+from ..tls.session import SessionCache
+from ..tls.suites import get_suite
+from .config import ServerConfig
+from .worker import Worker
+
+__all__ = ["TlsServer"]
+
+
+class TlsServer:
+    """The whole server machine: master + workers."""
+
+    def __init__(self, sim, net: Network, config: ServerConfig,
+                 provider: CryptoProvider, rng: RngRegistry,
+                 qat_device: Optional[QatDevice] = None,
+                 cost_model: Optional[CostModel] = None,
+                 ht_efficiency: float = 1.0) -> None:
+        config.validate()
+        self.sim = sim
+        self.net = net
+        self.config = config
+        self.provider = provider
+        self.cost_model = cost_model or default_cost_model()
+        self.qat_device = qat_device
+        if config.uses_qat and qat_device is None:
+            raise ValueError("QAT offload configured but no device given")
+
+        suites = tuple(get_suite(name) for name in config.suites)
+        self._version = (ProtocolVersion.TLS13 if config.tls_version == "1.3"
+                         else ProtocolVersion.TLS12)
+
+        # Shared server credentials (one cert, as in the testbed).
+        cred_rng = rng.stream("server-credentials")
+        self._cred_rsa = None
+        self._cred_ecdsa = None
+        if any(s.auth == "rsa" for s in suites):
+            self._cred_rsa = provider.make_rsa_credentials(
+                config.rsa_bits, cred_rng)
+        if any(s.auth == "ecdsa" for s in suites):
+            self._cred_ecdsa = provider.make_ecdsa_credentials(
+                config.curves[0], cred_rng)
+
+        self.session_cache = (SessionCache(sim,
+                                           lifetime=config.session_lifetime)
+                              if config.session_cache_enabled else None)
+        # One STEK shared by all workers (as deployments rotate and
+        # distribute ticket keys fleet-wide).
+        self.ticket_keeper = None
+        if config.session_tickets:
+            from ..tls.ticket import TicketKeeper
+            self.ticket_keeper = TicketKeeper(
+                bytes(rng.stream("stek").bytes(16)),
+                lifetime=config.session_lifetime)
+
+        self.topology = CpuTopology(sim, config.worker_processes,
+                                    ht_efficiency=ht_efficiency)
+        per_worker = config.ssl_engine.qat_instances_per_worker
+        if config.uses_qat:
+            flat = qat_device.allocate_instances(
+                config.worker_processes * per_worker)
+            # Consecutive chunks: with round-robin allocation each
+            # worker's instances land on different endpoints.
+            instances = [flat[i * per_worker:(i + 1) * per_worker]
+                         for i in range(config.worker_processes)]
+        else:
+            instances = [None] * config.worker_processes
+
+        self.workers: List[Worker] = []
+        for i in range(config.worker_processes):
+            listener = net.bind(self.listen_addr(i))
+            core = self.topology[i]
+            worker_rng = rng.stream(f"worker-{i}")
+
+            def make_ctx(worker, core=core, instance=instances[i],
+                         worker_rng=worker_rng):
+                tls_cfg = TlsServerConfig(
+                    provider=provider, suites=suites, rng=worker_rng,
+                    credentials_rsa=self._cred_rsa,
+                    credentials_ecdsa=self._cred_ecdsa,
+                    curves=config.curves,
+                    session_cache=self.session_cache,
+                    issue_tickets=config.session_tickets,
+                    ticket_keeper=self.ticket_keeper,
+                    clock=lambda: sim.now)
+                if config.uses_qat:
+                    drivers = [QatUserspaceDriver(inst)
+                               for inst in instance]
+                    engine = QatEngine(
+                        drivers, core, self.cost_model,
+                        algorithms=config.ssl_engine.default_algorithm)
+                else:
+                    engine = SoftwareEngine(core, self.cost_model)
+                async_mode = (config.async_impl if config.async_offload
+                              else "sync")
+                return SslContext(tls_cfg, engine, core, self.cost_model,
+                                  async_mode=async_mode,
+                                  version=self._version)
+
+            worker = Worker(sim, i, core, listener, make_ctx, config,
+                            self.cost_model)
+            self.workers.append(worker)
+
+    # -- addressing -----------------------------------------------------------
+
+    def listen_addr(self, worker_id: int) -> str:
+        """Per-worker listen address (models SO_REUSEPORT sharding)."""
+        return f"{self.config.listen}#{worker_id}"
+
+    def addresses(self) -> List[str]:
+        return [self.listen_addr(i) for i in range(len(self.workers))]
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> None:
+        for w in self.workers:
+            w.start()
+
+    def stop(self) -> None:
+        for w in self.workers:
+            w.stop()
+
+    # -- metrics ------------------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        total: dict = {}
+        for w in self.workers:
+            for k, v in w.metrics.snapshot().items():
+                total[k] = total.get(k, 0) + v
+        return total
+
+    def total_busy_time(self) -> float:
+        return self.topology.total_busy_time()

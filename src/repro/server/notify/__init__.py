@@ -1,0 +1,5 @@
+"""Async event notification schemes (paper section 3.4)."""
+
+from .async_queue import AsyncEventQueue
+
+__all__ = ["AsyncEventQueue"]

@@ -1,0 +1,42 @@
+"""The application-defined async queue (kernel-bypass notification,
+paper section 3.4).
+
+When a QAT response is retrieved, the response callback inserts the
+paused job's async handler at the tail of this queue — a plain
+user-space operation, no kernel involvement. The queue is processed at
+the end of each main-event-loop iteration; while inflight requests
+exist, the loop keeps executing instead of sleep-waiting in epoll.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+__all__ = ["AsyncEventQueue"]
+
+
+class AsyncEventQueue:
+    """FIFO of async-handler references."""
+
+    def __init__(self) -> None:
+        self._queue: Deque[Any] = deque()
+        self.enqueued = 0
+        self.processed = 0
+
+    def push(self, handler_ref: Any) -> None:
+        """The response-callback entry point (tail insert)."""
+        self._queue.append(handler_ref)
+        self.enqueued += 1
+
+    def pop(self) -> Optional[Any]:
+        if not self._queue:
+            return None
+        self.processed += 1
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)

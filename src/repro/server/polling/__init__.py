@@ -1,0 +1,6 @@
+"""QAT response retrieval schemes (paper sections 3.3 / 5.6)."""
+
+from .heuristic import HeuristicPoller
+from .timer_thread import TimerPollingThread
+
+__all__ = ["HeuristicPoller", "TimerPollingThread"]

@@ -1,0 +1,71 @@
+"""The heuristic polling scheme (paper sections 3.3 and 4.3).
+
+Integrated into the application (no independent polling thread), it
+checks two constraints wherever a crypto operation may be involved or
+TCactive may change:
+
+- **efficiency**: poll when the number of inflight requests Rtotal
+  reaches a threshold — 48 while asymmetric requests are in flight
+  (they take much longer, so more responses can be coalesced), 24
+  otherwise;
+- **timeliness**: poll immediately once Rtotal equals the number of
+  active TLS connections — every active connection is waiting on the
+  accelerator, so the process would otherwise stall.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ...engine.qat_engine import QatEngine
+from ..stub_status import StubStatus
+
+__all__ = ["HeuristicPoller"]
+
+
+class HeuristicPoller:
+    """Application-integrated response retrieval."""
+
+    def __init__(self, engine: QatEngine, stub_status: StubStatus,
+                 asym_threshold: int = 48, sym_threshold: int = 24) -> None:
+        if asym_threshold < 1 or sym_threshold < 1:
+            raise ValueError("thresholds must be >= 1")
+        self.engine = engine
+        self.stub_status = stub_status
+        self.asym_threshold = asym_threshold
+        self.sym_threshold = sym_threshold
+        self.polls = 0
+        self.efficiency_polls = 0
+        self.timeliness_polls = 0
+
+    # -- constraint checks --------------------------------------------------
+
+    def should_poll(self) -> bool:
+        r = self.engine.inflight
+        total = r.total
+        if total == 0:
+            return False
+        threshold = self.asym_threshold if r.asym > 0 else self.sym_threshold
+        if total >= threshold:
+            return True
+        return total >= self.stub_status.tls_active
+
+    def check(self, owner: object) -> Generator:
+        """Evaluate constraints; poll if either is met. Returns the
+        jobs whose responses were dispatched (empty list otherwise).
+
+        Called wherever a crypto op may be involved or TCactive may be
+        updated — i.e. after every handler invocation.
+        """
+        if not self.should_poll():
+            return []
+        r = self.engine.inflight
+        threshold = (self.asym_threshold if r.asym > 0
+                     else self.sym_threshold)
+        if r.total >= threshold:
+            self.efficiency_polls += 1
+        else:
+            self.timeliness_polls += 1
+        self.polls += 1
+        jobs = yield from self.engine.poll_and_dispatch(owner)
+        return jobs

@@ -1,0 +1,58 @@
+"""The stub_status module (paper section 4.3).
+
+Nginx's stub_status counts alive and idle connections; QTLS extends it
+to TLS-enabled connections and computes the number of *active* TLS
+connections as ``TCactive = TCalive - TCidle``. An idle connection is
+one waiting for a request from the end client (including keepalive);
+active ones are handshaking, reading a request or writing a response.
+"""
+
+from __future__ import annotations
+
+__all__ = ["StubStatus"]
+
+
+class StubStatus:
+    """Per-worker connection accounting."""
+
+    def __init__(self) -> None:
+        self.tls_alive = 0
+        self.tls_idle = 0
+        self.total_accepted = 0
+        self.total_closed = 0
+
+    # -- lifecycle hooks -------------------------------------------------
+
+    def on_accept(self) -> None:
+        self.tls_alive += 1
+        self.total_accepted += 1
+
+    def on_close(self, was_idle: bool) -> None:
+        self.tls_alive -= 1
+        if was_idle:
+            self.tls_idle -= 1
+        self.total_closed += 1
+        self._check()
+
+    def on_idle(self) -> None:
+        """Connection started waiting for a client request."""
+        self.tls_idle += 1
+        self._check()
+
+    def on_active(self) -> None:
+        """Idle connection received a request (or resumed activity)."""
+        self.tls_idle -= 1
+        self._check()
+
+    # -- the quantity the heuristic needs ------------------------------------
+
+    @property
+    def tls_active(self) -> int:
+        """TCactive = TCalive - TCidle."""
+        return self.tls_alive - self.tls_idle
+
+    def _check(self) -> None:
+        if self.tls_idle < 0 or self.tls_idle > self.tls_alive:
+            raise RuntimeError(
+                f"stub_status inconsistent: alive={self.tls_alive} "
+                f"idle={self.tls_idle}")

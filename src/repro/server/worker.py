@@ -1,0 +1,463 @@
+"""The event-driven worker process (the paper's modified Nginx worker).
+
+One worker = one event loop on one dedicated core, one QAT instance
+(when offloading), one stub_status, and — depending on configuration —
+a timer-based polling thread or the integrated heuristic polling
+scheme, with FD-based or kernel-bypass async event notification.
+
+The four phases of the QTLS framework map onto this file as:
+
+1. *pre-processing* — a handler drives the SSL layer until
+   ``WANT_ASYNC``: the offload job pauses, the connection enters the
+   TLS-ASYNC state and the loop moves on to other connections;
+2. *QAT response retrieval* — :class:`HeuristicPoller` checks fire
+   after every handler invocation (or the timer thread polls);
+3. *async event notification* — the response callback pushes the async
+   handler onto the :class:`AsyncEventQueue` (kernel-bypass) or writes
+   the connection's notification FD (FD mode);
+4. *post-processing* — the worker pops the queue at the end of the
+   loop (or sees the FD readable in epoll) and reschedules the saved
+   handler, which resumes the paused job.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Generator, List, Optional
+
+from ..core.costmodel import CostModel
+from ..cpu.core import Core
+from ..engine.qat_engine import QatEngine
+from ..net.epoll_sim import (EPOLL_CTL_COST, NOTIFY_FD_READ_COST, Epoll,
+                             NotifyFd)
+from ..net.network import Listener
+from ..net.socket_sim import SimSocket
+from ..ssl.connection import SslConnection
+from ..ssl.status import SslStatus
+from ..tls.actions import TlsAlert
+from ..tls.record import TlsRecord
+from .config import ServerConfig
+from .connection import ConnState, ServerConnection
+from .http import parse_request, response_body
+from .notify.async_queue import AsyncEventQueue
+from .polling.heuristic import HeuristicPoller
+from .polling.timer_thread import TimerPollingThread
+from .stub_status import StubStatus
+
+__all__ = ["Worker", "WorkerMetrics"]
+
+#: epoll timeout while spinning with inflight requests (bounds the
+#: sim-event rate of the keep-executing loop; 0 would also be correct).
+SPIN_TIMEOUT = 2e-6
+
+
+class WorkerMetrics:
+    """Counters the bench harness samples."""
+
+    def __init__(self) -> None:
+        self.handshakes_full = 0
+        self.handshakes_resumed = 0
+        self.requests_served = 0
+        self.bytes_sent = 0
+        self.connections_closed = 0
+        self.alerts = 0
+
+    def snapshot(self) -> dict:
+        return dict(self.__dict__)
+
+
+class Worker:
+    """One Nginx-like worker process."""
+
+    def __init__(self, sim, worker_id: int, core: Core, listener: Listener,
+                 ssl_ctx_factory, config: ServerConfig,
+                 cost_model: CostModel) -> None:
+        self.sim = sim
+        self.worker_id = worker_id
+        self.core = core
+        self.listener = listener
+        self.config = config
+        self.cm = cost_model
+        self.ssl_ctx = ssl_ctx_factory(self)
+        self.engine = self.ssl_ctx.engine
+
+        self.epoll = Epoll(sim, name=f"w{worker_id}-epoll")
+        self.epoll.register(listener)
+        self.stub_status = StubStatus()
+        self.async_queue = AsyncEventQueue()
+        self.retries: Deque[ServerConnection] = deque()
+        self.metrics = WorkerMetrics()
+
+        self.conns: Dict[SimSocket, ServerConnection] = {}
+        self.fd_conns: Dict[NotifyFd, ServerConnection] = {}
+        self._conn_seq = 0
+        self.running = True
+
+        # Response retrieval scheme (only meaningful with async offload).
+        self.poller: Optional[HeuristicPoller] = None
+        self.timer_thread: Optional[TimerPollingThread] = None
+        self.interrupt_retriever = None
+        #: Wakes the loop out of a blocked epoll_wait when responses
+        #: are dispatched OUTSIDE the loop (timer thread / interrupts)
+        #: while queue-mode notifications would otherwise sit unseen.
+        self.wake_fd: Optional[NotifyFd] = None
+        eng_cfg = config.ssl_engine
+        if config.async_offload and isinstance(self.engine, QatEngine):
+            out_of_loop = (eng_cfg.qat_notify_mode == "interrupt"
+                           or eng_cfg.qat_poll_mode == "timer")
+            if out_of_loop and config.async_notify_mode == "queue":
+                self.wake_fd = NotifyFd(sim, label=f"w{worker_id}-wake")
+                self.epoll.register(self.wake_fd)
+            wake = (self.wake_fd.write_event if self.wake_fd is not None
+                    else None)
+            if eng_cfg.qat_notify_mode == "interrupt":
+                from .polling.interrupt_mode import InterruptRetriever
+                self.interrupt_retriever = InterruptRetriever(
+                    sim, self.engine, name=f"w{worker_id}-irq", wake=wake)
+                self.interrupt_retriever.arm()
+            elif eng_cfg.qat_poll_mode == "heuristic":
+                self.poller = HeuristicPoller(
+                    self.engine, self.stub_status,
+                    asym_threshold=eng_cfg.qat_heuristic_poll_asym_threshold,
+                    sym_threshold=eng_cfg.qat_heuristic_poll_sym_threshold)
+            else:
+                self.timer_thread = TimerPollingThread(
+                    sim, self.engine,
+                    interval=eng_cfg.qat_timer_poll_interval,
+                    name=f"w{worker_id}-poller", wake=wake)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        self.sim.process(self._event_loop(), name=f"worker-{self.worker_id}")
+        if self.timer_thread is not None:
+            self.timer_thread.start()
+        if self.poller is not None and \
+                self.config.ssl_engine.qat_failover_timer > 0:
+            self.sim.process(self._failover_loop(),
+                             name=f"w{self.worker_id}-failover")
+
+    def stop(self) -> None:
+        self.running = False
+        if self.timer_thread is not None:
+            self.timer_thread.stop()
+
+    # -- the main event loop (paper section 2.2 / 3.4) -----------------------------
+
+    def _event_loop(self) -> Generator:
+        while self.running:
+            timeout = self._loop_timeout()
+            ready = yield from self.epoll.wait(self.core, owner=self,
+                                               timeout=timeout)
+            for p in ready:
+                yield from self.core.consume(self.cm.event_dispatch_cost,
+                                             owner=self)
+                if p is self.listener:
+                    yield from self._accept_all()
+                elif isinstance(p, NotifyFd):
+                    yield from self._notify_fd_event(p)
+                else:
+                    conn = self.conns.get(p)
+                    if conn is not None:
+                        yield from self._socket_event(conn)
+                yield from self._heuristic_check()
+            # Post-processing phase: drain the kernel-bypass queue at
+            # the end of the loop.
+            yield from self._drain_async_queue()
+            yield from self._process_retries()
+            yield from self._heuristic_check()
+
+    def _loop_timeout(self) -> Optional[float]:
+        if self.async_queue or self.retries:
+            return 0.0
+        if self.poller is not None and self.engine.inflight.total > 0:
+            # Keep the loop executing while requests are in flight
+            # instead of sleep-waiting (section 3.4).
+            return SPIN_TIMEOUT
+        return None  # block until an event arrives
+
+    def _heuristic_check(self) -> Generator:
+        if self.poller is not None:
+            yield from self.poller.check(owner=self)
+        return None
+
+    def _failover_loop(self) -> Generator:
+        """Section 4.3's failover: if no heuristic poll fired during
+        the last interval but requests are in flight, poll once."""
+        interval = self.config.ssl_engine.qat_failover_timer
+        last_polls = 0
+        while self.running:
+            yield self.sim.timeout(interval)
+            if (self.poller.polls == last_polls
+                    and self.engine.inflight.total > 0):
+                yield from self.engine.poll_and_dispatch(owner="failover")
+            last_polls = self.poller.polls
+
+    # -- accept path -----------------------------------------------------------------
+
+    def _accept_all(self) -> Generator:
+        while True:
+            sock = self.listener.accept()
+            if sock is None:
+                return
+            yield from self.core.consume(self.cm.accept_cost, owner=self)
+            self._conn_seq += 1
+            ssl = SslConnection(self.ssl_ctx, self._conn_seq)
+            conn = ServerConnection(self._conn_seq, sock, ssl)
+            self.conns[sock] = conn
+            yield from self.core.kernel_crossing(extra=EPOLL_CTL_COST)
+            self.epoll.register(sock)
+            self.stub_status.on_accept()
+
+    # -- socket events ------------------------------------------------------------------
+
+    def _socket_event(self, conn: ServerConnection) -> Generator:
+        eof = False
+        while True:
+            msg = conn.sock.recv()
+            if msg is None:
+                break
+            yield from self.core.consume(self.cm.net_rx_fixed, owner=self)
+            if isinstance(msg, bytes) and msg == b"":
+                eof = True
+                break
+            if isinstance(msg, TlsRecord):
+                conn.pending_records.append(msg)
+            else:
+                conn.ssl.feed_message(msg)
+        if eof:
+            conn.eof_pending = True
+        if conn.in_async:
+            # Event disorder guard (section 4.2): clear and save the
+            # read event; restore it when the async event is processed.
+            conn.saved_read_pending = True
+            return
+        # Process any messages that arrived ahead of the FIN (e.g. the
+        # client's final Finished flight + immediate close) before
+        # honoring the EOF.
+        yield from self._run_state_handler(conn)
+        if conn.eof_pending and not conn.in_async \
+                and conn.state is not ConnState.CLOSED:
+            yield from self._teardown(conn)
+
+    def _run_state_handler(self, conn: ServerConnection) -> Generator:
+        if conn.state is ConnState.CLOSED:
+            return
+        if conn.state is ConnState.HANDSHAKE:
+            yield from self._handshake_handler(conn)
+        else:
+            yield from self._io_handler(conn)
+
+    # -- async plumbing -------------------------------------------------------------------
+
+    def _setup_async(self, conn: ServerConnection, handler) -> Generator:
+        """Enter TLS-ASYNC and arm the notification channel."""
+        conn.enter_async(handler)
+        job = conn.ssl.job
+        if self.config.async_notify_mode == "queue":
+            # SSL_set_async_callback: the response callback will insert
+            # the async handler at the tail of the async queue.
+            job.wait_ctx.set_callback(self.async_queue.push, conn)
+        else:
+            if conn.notify_fd is not None and not self.config.share_notify_fd:
+                # Per-job FDs (the unoptimized variant): retire the
+                # previous job's descriptor.
+                self.epoll.unregister(conn.notify_fd)
+                self.fd_conns.pop(conn.notify_fd, None)
+                yield from self.core.kernel_crossing(extra=EPOLL_CTL_COST)
+                conn.notify_fd = None
+            if conn.notify_fd is None:
+                conn.notify_fd = NotifyFd(self.sim,
+                                          label=f"c{conn.conn_id}-async")
+                self.fd_conns[conn.notify_fd] = conn
+                yield from self.core.kernel_crossing(extra=EPOLL_CTL_COST)
+                self.epoll.register(conn.notify_fd)
+            job.wait_ctx.set_fd(conn.notify_fd)
+        return None
+
+    def _notify_fd_event(self, fd: NotifyFd) -> Generator:
+        conn = self.fd_conns.get(fd)
+        yield from self.core.kernel_crossing(extra=NOTIFY_FD_READ_COST)
+        fd.read_events()
+        if conn is not None:
+            yield from self._resume_async(conn)
+        # The worker wake fd carries no connection: the loop proceeds
+        # to drain the async queue.
+
+    def _drain_async_queue(self) -> Generator:
+        while self.async_queue:
+            conn = self.async_queue.pop()
+            yield from self.core.consume(self.cm.async_queue_cost,
+                                         owner=self)
+            yield from self._resume_async(conn)
+            yield from self._heuristic_check()
+
+    def _process_retries(self) -> Generator:
+        for _ in range(len(self.retries)):
+            conn = self.retries.popleft()
+            if conn.state is ConnState.CLOSED or not conn.in_async:
+                continue
+            yield from self._resume_async(conn)
+
+    def _resume_async(self, conn: ServerConnection) -> Generator:
+        """Post-processing: reschedule the saved handler."""
+        if conn.state is ConnState.CLOSED or not conn.in_async:
+            return  # connection died while the request was in flight
+        handler = conn.leave_async()
+        yield from handler(conn)
+        if (conn.state is not ConnState.CLOSED and conn.saved_read_pending
+                and not conn.in_async):
+            conn.saved_read_pending = False
+            yield from self._run_state_handler(conn)
+        if (conn.eof_pending and not conn.in_async
+                and conn.state is not ConnState.CLOSED):
+            yield from self._teardown(conn)
+
+    def _handle_status(self, conn: ServerConnection, status: SslStatus,
+                       handler) -> Generator:
+        """Common WANT_ASYNC / WANT_RETRY handling; True if paused."""
+        if status is SslStatus.WANT_ASYNC:
+            yield from self._setup_async(conn, handler)
+            return True
+        if status is SslStatus.WANT_RETRY:
+            yield from self._setup_async(conn, handler)
+            self.retries.append(conn)
+            return True
+        return False
+
+    # -- handshake handler -----------------------------------------------------------------
+
+    def _handshake_handler(self, conn: ServerConnection) -> Generator:
+        try:
+            status = yield from conn.ssl.do_handshake(self)
+        except TlsAlert as alert:
+            self.metrics.alerts += 1
+            yield from self._flush_outbox(conn)
+            yield from self._send_alert(conn, alert)
+            yield from self._teardown(conn)
+            return
+        yield from self._flush_outbox(conn)
+        paused = yield from self._handle_status(conn, status,
+                                                self._handshake_handler)
+        if paused or status is SslStatus.WANT_READ:
+            return
+        # OK: established.
+        conn.handshake_completed_at = self.sim.now
+        if conn.ssl.handshake_result.resumed:
+            self.metrics.handshakes_resumed += 1
+        else:
+            self.metrics.handshakes_full += 1
+        self._mark_idle(conn)
+        if conn.pending_records:
+            yield from self._io_handler(conn)
+
+    # -- request/response handler ------------------------------------------------------------
+
+    def _io_handler(self, conn: ServerConnection) -> Generator:
+        try:
+            yield from self._io_loop(conn)
+        except TlsAlert as alert:
+            self.metrics.alerts += 1
+            yield from self._send_alert(conn, alert)
+            yield from self._teardown(conn)
+
+    def _io_loop(self, conn: ServerConnection) -> Generator:
+        while conn.state is not ConnState.CLOSED:
+            job = conn.ssl.job
+            if job is not None and job.kind == "write":
+                status, records = yield from conn.ssl.write(None, self)
+                if (yield from self._handle_status(conn, status,
+                                                   self._io_handler)):
+                    return
+                yield from self._send_records(conn, records)
+                continue
+            if job is not None and job.kind == "read":
+                status, payload = yield from conn.ssl.read_record(None, self)
+            elif conn.pending_records:
+                self._mark_active(conn)
+                record = conn.pending_records.popleft()
+                status, payload = yield from conn.ssl.read_record(
+                    record, self)
+            else:
+                self._mark_idle(conn)
+                return
+            if (yield from self._handle_status(conn, status,
+                                               self._io_handler)):
+                return
+            # A full request payload decrypted.
+            yield from self.core.consume(self.cm.http_request_cost,
+                                         owner=self)
+            try:
+                request = parse_request(payload)
+            except ValueError:
+                self.metrics.alerts += 1
+                yield from self._teardown(conn)
+                return
+            conn.current_request = request
+            body = response_body(request.size)
+            status, records = yield from conn.ssl.write(body, self)
+            if (yield from self._handle_status(conn, status,
+                                               self._io_handler)):
+                return
+            yield from self._send_records(conn, records)
+
+    def _send_records(self, conn: ServerConnection,
+                      records: List[TlsRecord]) -> Generator:
+        for rec in records:
+            wire = rec.wire_size()
+            yield from self.core.consume(self.cm.net_tx_cost(wire),
+                                         owner=self)
+            conn.sock.send(rec, nbytes=wire)
+            self.metrics.bytes_sent += wire
+        conn.requests_served += 1
+        self.metrics.requests_served += 1
+        conn.current_request = None
+
+    # -- outbox / teardown ----------------------------------------------------------------------
+
+    def _send_alert(self, conn: ServerConnection, alert: TlsAlert
+                    ) -> Generator:
+        """Fatal alerts go on the wire before closure (RFC 5246 7.2)."""
+        from ..tls.messages import Alert
+        if conn.sock.closed:
+            return
+        msg = Alert(description=alert.description.split(":")[0])
+        yield from self.core.consume(self.cm.net_tx_cost(msg.wire_size()),
+                                     owner=self)
+        conn.sock.send(msg, nbytes=msg.wire_size())
+
+    def _flush_outbox(self, conn: ServerConnection) -> Generator:
+        for sm in conn.ssl.outbox:
+            wire = sm.message.wire_size()
+            yield from self.core.consume(self.cm.net_tx_cost(wire),
+                                         owner=self)
+            if not conn.sock.closed:
+                conn.sock.send(sm.message, nbytes=wire)
+        conn.ssl.outbox.clear()
+        return None
+
+    def _mark_idle(self, conn: ServerConnection) -> None:
+        if conn.state is not ConnState.IDLE:
+            conn.state = ConnState.IDLE
+            self.stub_status.on_idle()
+
+    def _mark_active(self, conn: ServerConnection) -> None:
+        if conn.state is ConnState.IDLE:
+            self.stub_status.on_active()
+            conn.state = ConnState.READING
+
+    def _teardown(self, conn: ServerConnection) -> Generator:
+        if conn.state is ConnState.CLOSED:
+            return
+        was_idle = conn.state is ConnState.IDLE
+        conn.state = ConnState.CLOSED
+        conn.ssl.abort_job()
+        yield from self.core.consume(self.cm.close_cost, owner=self)
+        self.epoll.unregister(conn.sock)
+        if conn.notify_fd is not None:
+            self.epoll.unregister(conn.notify_fd)
+            self.fd_conns.pop(conn.notify_fd, None)
+        self.conns.pop(conn.sock, None)
+        conn.sock.close()
+        self.stub_status.on_close(was_idle=was_idle)
+        self.metrics.connections_closed += 1

@@ -1,0 +1,123 @@
+"""Generator-based simulation processes.
+
+A process wraps a Python generator that yields :class:`~repro.sim.events.Event`
+instances. Yielding an event suspends the process until the event is
+processed; the event's value becomes the result of the ``yield``
+expression (or its exception is thrown into the generator).
+
+A :class:`Process` is itself an event that triggers when the generator
+returns, with the generator's return value as the event value — so
+processes can wait on each other simply by yielding them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Simulator
+
+__all__ = ["Process", "Interrupt"]
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """A running simulation process (also its own completion event)."""
+
+    __slots__ = ("_gen", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: Generator,
+                 name: str = "") -> None:
+        if not hasattr(gen, "send"):
+            raise TypeError(
+                f"Process requires a generator, got {type(gen).__name__} "
+                "(did you forget to call the generator function?)")
+        super().__init__(sim, name=name or getattr(gen, "__name__", ""))
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        # Kick off the process at the current simulated instant.
+        boot = Event(sim, name=f"{self.name}-boot")
+        boot._value = None
+        sim._schedule(boot, 0.0)
+        boot.callbacks.append(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The event the process was waiting on remains pending; the process
+        may re-wait on it or abandon it.
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"{self!r} has already terminated")
+        if self._waiting_on is not None and not self._waiting_on.processed:
+            # Detach so a later trigger does not double-resume us.
+            try:
+                assert self._waiting_on.callbacks is not None
+                self._waiting_on.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        kick = Event(self.sim, name=f"{self.name}-interrupt")
+        kick._exc = Interrupt(cause)
+        kick._value = None
+        kick.defuse()
+        self.sim._schedule(kick, 0.0)
+        kick.callbacks.append(self._resume)
+
+    # -- kernel callback ---------------------------------------------------
+
+    def _resume(self, trigger: Event) -> None:
+        self._waiting_on = None
+        try:
+            if trigger.exception is not None:
+                trigger.defuse()
+                nxt = self._gen.throw(trigger.exception)
+            else:
+                nxt = self._gen.send(trigger._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            # The process died. Fail our completion event; if nobody is
+            # watching, Simulator.step() re-raises (undefused failure).
+            self.fail(exc)
+            return
+
+        if not isinstance(nxt, Event):
+            err = RuntimeError(
+                f"process {self.name!r} yielded {nxt!r}; processes must "
+                "yield Event instances")
+            self._gen.close()
+            self.fail(err)
+            return
+        if nxt.sim is not self.sim:
+            self._gen.close()
+            self.fail(RuntimeError("yielded event belongs to another simulator"))
+            return
+
+        if nxt.processed:
+            # Already done: reschedule ourselves immediately with its value.
+            kick = Event(self.sim, name=f"{self.name}-immediate")
+            kick._value = nxt._value
+            kick._exc = nxt._exc
+            if kick._exc is not None:
+                kick.defuse()
+            self.sim._schedule(kick, 0.0)
+            kick.callbacks.append(self._resume)
+        else:
+            self._waiting_on = nxt
+            assert nxt.callbacks is not None
+            nxt.callbacks.append(self._resume)

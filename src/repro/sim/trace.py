@@ -1,0 +1,48 @@
+"""Lightweight event tracing for debugging and analysis.
+
+Disabled tracers are free: the kernel checks ``tracer.enabled`` before
+formatting anything.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = ["Tracer", "TraceRecord"]
+
+TraceRecord = Tuple[str, float, Tuple[Any, ...]]
+
+
+class Tracer:
+    """Collects ``(kind, time, payload)`` records.
+
+    Parameters
+    ----------
+    enabled:
+        When False, :meth:`record` is a no-op.
+    sink:
+        Optional callable invoked per record (e.g. ``print``); records
+        are also kept in :attr:`records` unless ``keep`` is False.
+    """
+
+    def __init__(self, enabled: bool = True, keep: bool = True,
+                 sink: Optional[Callable[[TraceRecord], None]] = None) -> None:
+        self.enabled = enabled
+        self.keep = keep
+        self.sink = sink
+        self.records: List[TraceRecord] = []
+
+    def record(self, kind: str, when: float, *payload: Any) -> None:
+        if not self.enabled:
+            return
+        rec: TraceRecord = (kind, when, payload)
+        if self.keep:
+            self.records.append(rec)
+        if self.sink is not None:
+            self.sink(rec)
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        return [r for r in self.records if r[0] == kind]
+
+    def clear(self) -> None:
+        self.records.clear()

@@ -1,0 +1,15 @@
+"""OpenSSL-like async SSL layer.
+
+Implements the paper's crypto pause/resumption (section 4.1): fiber
+async (ASYNC_JOB), stack async (state-flag replay), WANT_ASYNC status
+propagation and the ASYNC_WAIT_CTX notification plumbing.
+"""
+
+from .async_job import AsyncJob, FiberAsyncJob, JobState, StackAsyncJob
+from .connection import SslConnection
+from .context import SslContext
+from .status import SslStatus
+from .wait_ctx import AsyncWaitCtx
+
+__all__ = ["SslStatus", "SslConnection", "SslContext", "AsyncWaitCtx",
+           "AsyncJob", "FiberAsyncJob", "StackAsyncJob", "JobState"]

@@ -1,0 +1,22 @@
+"""SSL-level return statuses (the OpenSSL ``SSL_get_error`` codes the
+paper's Nginx modifications recognize — section 4.2)."""
+
+from __future__ import annotations
+
+from enum import Enum, auto
+
+__all__ = ["SslStatus"]
+
+
+class SslStatus(Enum):
+    """Result of driving an SSL operation one step."""
+
+    OK = auto()
+    #: Needs more inbound data (SSL_ERROR_WANT_READ).
+    WANT_READ = auto()
+    #: An async crypto request was submitted; the offload job is paused
+    #: (SSL_ERROR_WANT_ASYNC). Re-invoke the same API when notified.
+    WANT_ASYNC = auto()
+    #: Crypto submission failed (ring full); the offload job is paused
+    #: in retry state (SSL_ERROR_WANT_ASYNC_JOB in OpenSSL terms).
+    WANT_RETRY = auto()

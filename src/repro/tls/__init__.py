@@ -1,0 +1,34 @@
+"""From-scratch TLS protocol stack (1.2 + 1.3, sans-IO).
+
+State machines yield explicit actions (messages to send, messages
+needed, crypto operations) so the SSL layer above can run them
+synchronously or pause/resume them around asynchronous offload — the
+core mechanism of QTLS.
+"""
+
+from .actions import (CryptoCall, DirectionKeys, HandshakeResult,
+                      NeedMessage, SendMessage, TlsAlert)
+from .config import TlsClientConfig, TlsServerConfig
+from .constants import (MAX_FRAGMENT, ContentType, HandshakeType,
+                        ProtocolVersion)
+from .handshake import (client_handshake12, client_handshake13,
+                        server_handshake12, server_handshake13)
+from .loopback import OpLog, SyncDriver, run_loopback_handshake
+from .record import RecordLayer, TlsRecord
+from .session import SessionCache, SessionState
+from .suites import (ECDHE_ECDSA, ECDHE_RSA, TLS13_ECDHE_RSA, TLS_RSA,
+                     CipherSuite, get_suite, list_suites)
+
+__all__ = [
+    "CryptoCall", "NeedMessage", "SendMessage", "HandshakeResult",
+    "DirectionKeys", "TlsAlert",
+    "TlsServerConfig", "TlsClientConfig",
+    "ProtocolVersion", "ContentType", "HandshakeType", "MAX_FRAGMENT",
+    "server_handshake12", "client_handshake12",
+    "server_handshake13", "client_handshake13",
+    "OpLog", "SyncDriver", "run_loopback_handshake",
+    "RecordLayer", "TlsRecord",
+    "SessionCache", "SessionState",
+    "CipherSuite", "get_suite", "list_suites",
+    "TLS_RSA", "ECDHE_RSA", "ECDHE_ECDSA", "TLS13_ECDHE_RSA",
+]

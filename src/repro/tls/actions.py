@@ -1,0 +1,90 @@
+"""Actions yielded by the sans-IO handshake state machines.
+
+The handshake generators in :mod:`repro.tls.handshake` never touch
+sockets, engines or the simulator. They yield these action objects and
+receive results back through ``gen.send``:
+
+- :class:`NeedMessage` — wants the next inbound handshake message; the
+  driver replies with the message object (or raises into the
+  generator on protocol errors).
+- :class:`SendMessage` — hand an outbound message to the driver
+  (reply: None).
+- :class:`CryptoCall` — run a crypto operation. The reply is the
+  result of ``compute()``. **This is the pause point**: an async
+  driver submits the op to the accelerator and suspends the whole
+  generator until the response arrives (paper sections 3.2/4.1).
+
+Keeping the protocol logic sans-IO is what makes the same state
+machine run under the sync driver, the stack-async driver and the
+fiber-async driver without modification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Tuple, Type
+
+from ..crypto.ops import CryptoOp
+from .messages import HandshakeMessage
+from .suites import CipherSuite
+
+__all__ = ["NeedMessage", "SendMessage", "CryptoCall", "HandshakeResult",
+           "TlsAlert"]
+
+
+class TlsAlert(Exception):
+    """A fatal TLS alert (protocol violation, bad MAC, bad signature…)."""
+
+    def __init__(self, description: str) -> None:
+        super().__init__(description)
+        self.description = description
+
+
+@dataclass
+class NeedMessage:
+    """Request the next inbound handshake message."""
+
+    expected: Tuple[Type[HandshakeMessage], ...] = ()
+
+
+@dataclass
+class SendMessage:
+    """Queue an outbound handshake message (flushed per flight)."""
+
+    message: HandshakeMessage
+    encrypted: bool = False
+    flush: bool = False  # end of flight: push to the wire
+
+
+@dataclass
+class CryptoCall:
+    """Request execution of one crypto operation."""
+
+    op: CryptoOp
+    compute: Callable[[], Any]
+    label: str = ""
+
+
+@dataclass
+class HandshakeResult:
+    """Outcome of a completed handshake."""
+
+    suite: CipherSuite
+    master_secret: bytes
+    client_write_keys: "DirectionKeys"
+    server_write_keys: "DirectionKeys"
+    session_id: bytes = b""
+    session_ticket: Optional[bytes] = None
+    #: TLS 1.3: the PSK to offer with ``session_ticket`` next time.
+    resumption_psk: Optional[bytes] = None
+    resumed: bool = False
+    negotiated_curve: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class DirectionKeys:
+    """Record-protection keys for one direction."""
+
+    mac_key: bytes
+    enc_key: bytes
+    iv: bytes

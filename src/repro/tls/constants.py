@@ -1,0 +1,44 @@
+"""TLS protocol constants (subset needed by the reproduction)."""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+__all__ = ["ProtocolVersion", "ContentType", "HandshakeType",
+           "MAX_FRAGMENT", "VERIFY_DATA_LEN", "MASTER_SECRET_LEN",
+           "PREMASTER_LEN", "RANDOM_LEN"]
+
+#: TLS plaintext fragment limit: larger application data is fragmented
+#: (paper section 2.1: "the data object is fragmented into units of
+#: 16KB if it is larger than this").
+MAX_FRAGMENT = 16384
+
+VERIFY_DATA_LEN = 12
+MASTER_SECRET_LEN = 48
+PREMASTER_LEN = 48
+RANDOM_LEN = 32
+
+
+class ProtocolVersion(IntEnum):
+    TLS12 = 0x0303
+    TLS13 = 0x0304
+
+
+class ContentType(IntEnum):
+    CHANGE_CIPHER_SPEC = 20
+    ALERT = 21
+    HANDSHAKE = 22
+    APPLICATION_DATA = 23
+
+
+class HandshakeType(IntEnum):
+    CLIENT_HELLO = 1
+    SERVER_HELLO = 2
+    NEW_SESSION_TICKET = 4
+    ENCRYPTED_EXTENSIONS = 8
+    CERTIFICATE = 11
+    SERVER_KEY_EXCHANGE = 12
+    SERVER_HELLO_DONE = 14
+    CERTIFICATE_VERIFY = 15
+    CLIENT_KEY_EXCHANGE = 16
+    FINISHED = 20

@@ -1,0 +1,9 @@
+"""TLS handshake state machines (sans-IO generators)."""
+
+from .client12 import client_handshake12
+from .client13 import client_handshake13
+from .server12 import server_handshake12
+from .server13 import server_handshake13
+
+__all__ = ["server_handshake12", "client_handshake12",
+           "server_handshake13", "client_handshake13"]

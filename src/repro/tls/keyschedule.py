@@ -1,0 +1,99 @@
+"""TLS key derivation.
+
+TLS 1.2 (RFC 5246): master secret and key block via the PRF. Each PRF
+invocation is exposed as a :class:`CryptoOp` by the handshake state
+machines, because the QAT Engine offloads PRF (Table 1's PRF column).
+
+TLS 1.3 (RFC 8446): the HKDF schedule. HKDF is *not* offloadable
+(paper Figure 8) — its ops carry ``CryptoOpKind.HKDF``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..crypto.provider import CryptoProvider
+from .actions import DirectionKeys
+from .constants import MASTER_SECRET_LEN, VERIFY_DATA_LEN
+from .suites import CipherSuite
+
+__all__ = ["derive_master_secret", "derive_key_block", "split_key_block",
+           "finished_verify_data", "Tls13Schedule"]
+
+
+def derive_master_secret(provider: CryptoProvider, premaster: bytes,
+                         client_random: bytes, server_random: bytes) -> bytes:
+    """RFC 5246 section 8.1 (one PRF op)."""
+    return provider.prf(premaster, b"master secret",
+                        client_random + server_random, MASTER_SECRET_LEN)
+
+
+def derive_key_block(provider: CryptoProvider, master_secret: bytes,
+                     client_random: bytes, server_random: bytes,
+                     suite: CipherSuite) -> bytes:
+    """RFC 5246 section 6.3 (one PRF op). Note the reversed randoms."""
+    return provider.prf(master_secret, b"key expansion",
+                        server_random + client_random, suite.key_block_len)
+
+
+def split_key_block(block: bytes, suite: CipherSuite
+                    ) -> Tuple[DirectionKeys, DirectionKeys]:
+    """Partition the key block into client/server direction keys."""
+    m, e, i = suite.mac_key_len, suite.enc_key_len, suite.iv_len
+    if len(block) != 2 * (m + e + i):
+        raise ValueError("key block length mismatch")
+    off = 0
+    cmac, smac = block[off:off + m], block[off + m:off + 2 * m]
+    off += 2 * m
+    cenc, senc = block[off:off + e], block[off + e:off + 2 * e]
+    off += 2 * e
+    civ, siv = block[off:off + i], block[off + i:off + 2 * i]
+    return (DirectionKeys(cmac, cenc, civ), DirectionKeys(smac, senc, siv))
+
+
+def finished_verify_data(provider: CryptoProvider, master_secret: bytes,
+                         label: bytes, transcript: bytes) -> bytes:
+    """RFC 5246 section 7.4.9 (one PRF op per Finished message)."""
+    return provider.prf(master_secret, label, transcript, VERIFY_DATA_LEN)
+
+
+class Tls13Schedule:
+    """The TLS 1.3 HKDF key schedule (RFC 8446 section 7.1).
+
+    Each method is one or more HKDF invocations; callers wrap them in
+    ``CryptoOp(HKDF)`` calls so the cost model can charge CPU (never
+    QAT) for them.
+    """
+
+    def __init__(self, provider: CryptoProvider) -> None:
+        self.provider = provider
+        self._zeros = b"\x00" * 32
+
+    def early_secret(self, psk: bytes = b"") -> bytes:
+        return self.provider.hkdf_extract(b"", psk or self._zeros)
+
+    def derive_secret(self, secret: bytes, label: bytes,
+                      transcript: bytes) -> bytes:
+        return self.provider.hkdf_expand_label(secret, label, transcript, 32)
+
+    def handshake_secret(self, early: bytes, ecdhe: bytes) -> bytes:
+        salt = self.derive_secret(early, b"derived", b"")
+        return self.provider.hkdf_extract(salt, ecdhe)
+
+    def master_secret(self, handshake: bytes) -> bytes:
+        salt = self.derive_secret(handshake, b"derived", b"")
+        return self.provider.hkdf_extract(salt, self._zeros)
+
+    def traffic_keys(self, traffic_secret: bytes, suite: CipherSuite
+                     ) -> DirectionKeys:
+        mac = self.provider.hkdf_expand_label(traffic_secret, b"mac", b"",
+                                              suite.mac_key_len)
+        key = self.provider.hkdf_expand_label(traffic_secret, b"key", b"",
+                                              suite.enc_key_len)
+        iv = self.provider.hkdf_expand_label(traffic_secret, b"iv", b"",
+                                             suite.iv_len)
+        return DirectionKeys(mac, key, iv)
+
+    def finished_key(self, traffic_secret: bytes) -> bytes:
+        return self.provider.hkdf_expand_label(traffic_secret, b"finished",
+                                               b"", 32)

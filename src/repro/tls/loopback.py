@@ -1,0 +1,121 @@
+"""In-memory synchronous driver for the sans-IO TLS state machines.
+
+Runs a client generator against a server generator with immediate
+crypto execution and zero network. Used by the test suite, the
+examples, and Table 1's op-count reproduction — anywhere the protocol
+logic matters but the simulation does not.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, List, Optional, Tuple
+
+from ..crypto.ops import CryptoOp
+from .actions import (CryptoCall, HandshakeResult, NeedMessage, SendMessage,
+                      TlsAlert)
+
+__all__ = ["run_loopback_handshake", "SyncDriver", "OpLog"]
+
+
+class OpLog:
+    """Records every CryptoCall a driver executed (for Table 1)."""
+
+    def __init__(self) -> None:
+        self.ops: List[CryptoOp] = []
+        self.labels: List[str] = []
+
+    def count(self, *kinds) -> int:
+        return sum(1 for op in self.ops if op.kind in kinds)
+
+    def by_category(self) -> dict:
+        out: dict = {}
+        for op in self.ops:
+            out[op.category.value] = out.get(op.category.value, 0) + 1
+        return out
+
+
+class SyncDriver:
+    """Drives one sans-IO generator with immediate crypto execution.
+
+    Remembers the in-progress action across :meth:`pump` calls, so a
+    generator parked on :class:`NeedMessage` resumes correctly when
+    input arrives.
+    """
+
+    def __init__(self, gen: Generator, oplog: Optional[OpLog] = None) -> None:
+        self.gen = gen
+        self.oplog = oplog
+        self._pending: Any = None
+        self._started = False
+        self.result: Any = None
+        self.done = False
+
+    def pump(self, inbox: Deque, outbox: List) -> Any:
+        """Advance until completion (returns the generator's result) or
+        until input is needed but ``inbox`` is empty (returns None)."""
+        if self.done:
+            return self.result
+        try:
+            if not self._started:
+                self._started = True
+                self._pending = self.gen.send(None)
+            while True:
+                action = self._pending
+                if isinstance(action, CryptoCall):
+                    if self.oplog is not None:
+                        self.oplog.ops.append(action.op)
+                        self.oplog.labels.append(action.label)
+                    # Crypto failures resume the state machine as an
+                    # exception at the pause point (mirroring how an
+                    # errored accelerator response resumes an async job).
+                    try:
+                        result = action.compute()
+                    except Exception as exc:
+                        self._pending = self.gen.throw(exc)
+                        continue
+                    self._pending = self.gen.send(result)
+                elif isinstance(action, SendMessage):
+                    outbox.append(action.message)
+                    self._pending = self.gen.send(None)
+                elif isinstance(action, NeedMessage):
+                    if not inbox:
+                        return None  # parked; pump again once input lands
+                    self._pending = self.gen.send(inbox.popleft())
+                else:
+                    raise TypeError(f"unknown action {action!r}")
+        except StopIteration as stop:
+            self.result = stop.value
+            self.done = True
+            return self.result
+
+
+def run_loopback_handshake(client_gen: Generator, server_gen: Generator,
+                           client_oplog: Optional[OpLog] = None,
+                           server_oplog: Optional[OpLog] = None,
+                           max_rounds: int = 50
+                           ) -> Tuple[HandshakeResult, HandshakeResult]:
+    """Run both handshake generators to completion against each other.
+
+    Returns ``(client_result, server_result)``.
+    """
+    c2s: Deque = deque()
+    s2c: Deque = deque()
+    client = SyncDriver(client_gen, client_oplog)
+    server = SyncDriver(server_gen, server_oplog)
+
+    for _ in range(max_rounds):
+        client.pump(s2c, c2s)
+        server.pump(c2s, s2c)
+        if client.done and server.done:
+            return client.result, server.result
+    raise TlsAlert("internal_error: handshake did not converge")
+
+
+def run_record_exchange(gen: Generator, oplog: Optional[OpLog] = None) -> Any:
+    """Run a record-layer generator (protect/unprotect) synchronously."""
+    driver = SyncDriver(gen, oplog)
+    result = driver.pump(deque(), [])
+    if not driver.done:
+        raise TlsAlert("internal_error: record op wanted a message")
+    return result

@@ -1,0 +1,70 @@
+"""Session resumption state (session IDs and session tickets).
+
+Resumption lets later connections skip the asymmetric-key operations
+(paper section 2.1). The cache enforces a lifetime, mirroring how
+service providers restrict ticket lifetime to bound the forward-
+secrecy exposure.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from .suites import CipherSuite
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.kernel import Simulator
+
+__all__ = ["SessionState", "SessionCache"]
+
+
+@dataclass(frozen=True)
+class SessionState:
+    """What the server needs to resume a session."""
+
+    session_id: bytes
+    suite: CipherSuite
+    master_secret: bytes
+    created_at: float
+
+
+class SessionCache:
+    """Server-side session store with LRU eviction and expiry."""
+
+    def __init__(self, sim: "Simulator", lifetime: float = 3600.0,
+                 capacity: int = 100_000) -> None:
+        if lifetime <= 0 or capacity < 1:
+            raise ValueError("invalid cache parameters")
+        self.sim = sim
+        self.lifetime = lifetime
+        self.capacity = capacity
+        self._store: "OrderedDict[bytes, SessionState]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def put(self, state: SessionState) -> None:
+        self._store[state.session_id] = state
+        self._store.move_to_end(state.session_id)
+        while len(self._store) > self.capacity:
+            self._store.popitem(last=False)
+
+    def get(self, session_id: bytes) -> Optional[SessionState]:
+        state = self._store.get(session_id)
+        if state is None:
+            self.misses += 1
+            return None
+        if self.sim.now - state.created_at > self.lifetime:
+            del self._store[session_id]
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._store.move_to_end(session_id)
+        return state
+
+    def invalidate(self, session_id: bytes) -> None:
+        self._store.pop(session_id, None)
+
+    def __len__(self) -> int:
+        return len(self._store)

@@ -1,0 +1,17 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.sim import RngRegistry
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG for tests."""
+    return np.random.default_rng(0xDEADBEEF)
+
+
+@pytest.fixture
+def registry() -> RngRegistry:
+    return RngRegistry(42)

@@ -1,0 +1,76 @@
+"""AES-128 tests: FIPS-197 vectors, oracle cross-check, properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES128, _INV_SBOX, _SBOX
+
+try:
+    from cryptography.hazmat.primitives.ciphers import Cipher, algorithms, modes
+    HAVE_ORACLE = True
+except ImportError:  # pragma: no cover
+    HAVE_ORACLE = False
+
+oracle = pytest.mark.skipif(not HAVE_ORACLE,
+                            reason="cryptography package unavailable")
+
+
+def test_fips197_appendix_c_vector():
+    key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+    pt = bytes.fromhex("00112233445566778899aabbccddeeff")
+    ct = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+    aes = AES128(key)
+    assert aes.encrypt_block(pt) == ct
+    assert aes.decrypt_block(ct) == pt
+
+
+def test_sbox_known_entries():
+    # FIPS 197 figure 7: S(0x00)=0x63, S(0x53)=0xED, S(0xFF)=0x16.
+    assert _SBOX[0x00] == 0x63
+    assert _SBOX[0x53] == 0xED
+    assert _SBOX[0xFF] == 0x16
+
+
+def test_sbox_is_permutation():
+    assert sorted(_SBOX) == list(range(256))
+    for i in range(256):
+        assert _INV_SBOX[_SBOX[i]] == i
+
+
+def test_key_length_validation():
+    with pytest.raises(ValueError):
+        AES128(b"short")
+
+
+def test_block_length_validation():
+    aes = AES128(b"\x00" * 16)
+    with pytest.raises(ValueError):
+        aes.encrypt_block(b"\x00" * 15)
+    with pytest.raises(ValueError):
+        aes.decrypt_block(b"\x00" * 17)
+
+
+@given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+@settings(max_examples=25)
+def test_roundtrip_property(key, block):
+    aes = AES128(key)
+    assert aes.decrypt_block(aes.encrypt_block(block)) == block
+
+
+def test_different_keys_different_ciphertexts():
+    block = b"\x00" * 16
+    assert AES128(b"\x01" * 16).encrypt_block(block) != \
+        AES128(b"\x02" * 16).encrypt_block(block)
+
+
+@oracle
+def test_matches_openssl_for_random_inputs():
+    rng = np.random.default_rng(99)
+    for _ in range(10):
+        key, block = rng.bytes(16), rng.bytes(16)
+        ours = AES128(key).encrypt_block(block)
+        enc = Cipher(algorithms.AES(key), modes.ECB()).encryptor()
+        theirs = enc.update(block) + enc.finalize()
+        assert ours == theirs

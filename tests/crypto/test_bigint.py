@@ -1,0 +1,67 @@
+"""Unit and property tests for bigint helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.bigint import (byte_length, crt_pair, egcd, i2osp, modinv,
+                                 os2ip)
+
+
+def test_egcd_basic():
+    g, x, y = egcd(240, 46)
+    assert g == 2
+    assert 240 * x + 46 * y == g
+
+
+@given(st.integers(1, 10**12), st.integers(1, 10**12))
+def test_egcd_bezout(a, b):
+    g, x, y = egcd(a, b)
+    assert a * x + b * y == g
+    assert a % g == 0 and b % g == 0
+
+
+def test_modinv_known():
+    assert modinv(3, 11) == 4
+
+
+@given(st.integers(2, 10**9))
+def test_modinv_property(a):
+    p = 2**61 - 1  # Mersenne prime
+    inv = modinv(a, p)
+    assert (a * inv) % p == 1
+
+
+def test_modinv_not_invertible():
+    with pytest.raises(ValueError):
+        modinv(6, 9)
+
+
+def test_crt_pair_recombines():
+    p, q = 61, 53
+    qinv = modinv(q, p)
+    m = 1234
+    assert crt_pair(m % p, m % q, p, q, qinv) % (p * q) == m
+
+
+def test_i2osp_roundtrip():
+    assert os2ip(i2osp(0xABCD, 4)) == 0xABCD
+    assert i2osp(0, 2) == b"\x00\x00"
+
+
+def test_i2osp_overflow():
+    with pytest.raises(ValueError):
+        i2osp(256, 1)
+    with pytest.raises(ValueError):
+        i2osp(-1, 4)
+
+
+@given(st.integers(0, 2**128 - 1))
+def test_i2osp_os2ip_inverse(x):
+    assert os2ip(i2osp(x, 16)) == x
+
+
+def test_byte_length():
+    assert byte_length(0) == 1
+    assert byte_length(255) == 1
+    assert byte_length(256) == 2

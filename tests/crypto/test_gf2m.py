@@ -1,0 +1,114 @@
+"""Property tests for GF(2^m) field arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.gf2m import BinaryField
+
+# The B-283 reduction polynomial: x^283 + x^12 + x^7 + x^5 + 1
+POLY_283 = (1 << 283) | (1 << 12) | (1 << 7) | (1 << 5) | 1
+# Small field for exhaustive-ish checks: x^8 + x^4 + x^3 + x + 1 (AES poly)
+POLY_8 = 0x11B
+
+f283 = BinaryField(POLY_283)
+f8 = BinaryField(POLY_8)
+
+elements_283 = st.integers(0, (1 << 283) - 1)
+elements_8 = st.integers(0, 255)
+
+
+def test_degree():
+    assert f283.m == 283
+    assert f8.m == 8
+
+
+def test_add_is_xor():
+    assert f8.add(0b1010, 0b0110) == 0b1100
+
+
+def test_mul_identity():
+    assert f8.mul(1, 0x57) == 0x57
+    assert f283.mul(1, 12345) == 12345
+
+
+def test_mul_zero():
+    assert f8.mul(0, 0xFF) == 0
+    assert f283.mul(99, 0) == 0
+
+
+def test_known_aes_field_product():
+    # {57} * {83} = {c1} in GF(2^8) with the AES polynomial (FIPS 197).
+    assert f8.mul(0x57, 0x83) == 0xC1
+
+
+@given(elements_8, elements_8)
+def test_mul_commutative_small(a, b):
+    assert f8.mul(a, b) == f8.mul(b, a)
+
+
+@given(elements_283, elements_283)
+@settings(max_examples=50)
+def test_mul_commutative_large(a, b):
+    assert f283.mul(a, b) == f283.mul(b, a)
+
+
+@given(elements_8, elements_8, elements_8)
+def test_mul_associative(a, b, c):
+    assert f8.mul(f8.mul(a, b), c) == f8.mul(a, f8.mul(b, c))
+
+
+@given(elements_8, elements_8, elements_8)
+def test_distributive(a, b, c):
+    assert f8.mul(a, f8.add(b, c)) == f8.add(f8.mul(a, b), f8.mul(a, c))
+
+
+@given(elements_283)
+@settings(max_examples=50)
+def test_sqr_matches_self_mul(a):
+    assert f283.sqr(a) == f283.mul(a, a)
+
+
+@given(st.integers(1, (1 << 283) - 1))
+@settings(max_examples=50)
+def test_inverse_large(a):
+    assert f283.mul(a, f283.inv(a)) == 1
+
+
+def test_inverse_exhaustive_small():
+    for a in range(1, 256):
+        assert f8.mul(a, f8.inv(a)) == 1
+
+
+def test_inverse_of_zero_raises():
+    with pytest.raises(ZeroDivisionError):
+        f8.inv(0)
+
+
+@given(st.integers(1, 255), st.integers(0, 255))
+def test_div_roundtrip(b, a):
+    assert f8.mul(f8.div(a, b), b) == f8.reduce(a)
+
+
+def test_reduce_idempotent():
+    x = (1 << 300) | (1 << 290) | 5
+    r = f283.reduce(x)
+    assert r < (1 << 283)
+    assert f283.reduce(r) == r
+
+
+def test_contains():
+    assert f8.contains(255)
+    assert not f8.contains(256)
+    assert not f8.contains(-1)
+
+
+def test_frobenius_linearity():
+    # (a + b)^2 == a^2 + b^2 in characteristic 2.
+    for a, b in [(0x53, 0xCA), (0x01, 0xFF), (0x80, 0x80)]:
+        assert f8.sqr(f8.add(a, b)) == f8.add(f8.sqr(a), f8.sqr(b))
+
+
+def test_modulus_validation():
+    with pytest.raises(ValueError):
+        BinaryField(1)

@@ -1,0 +1,158 @@
+"""Provider tests: both providers must satisfy the same contract."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.provider import (ModeledCryptoProvider, RealCryptoProvider,
+                                   VerifyError)
+from repro.crypto.rsa import RsaError
+
+PROVIDERS = [RealCryptoProvider(), ModeledCryptoProvider()]
+IDS = ["real", "modeled"]
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+@pytest.fixture(params=PROVIDERS, ids=IDS)
+def provider(request):
+    return request.param
+
+
+@pytest.fixture
+def rsa_cred(provider):
+    # 1024-bit keeps the real keygen fast in tests.
+    return provider.make_rsa_credentials(1024, _rng(1))
+
+
+# -- RSA path (TLS-RSA key exchange + server auth) ---------------------------
+
+def test_rsa_premaster_roundtrip(provider, rsa_cred):
+    premaster = bytes(_rng(2).bytes(48))
+    ct = provider.rsa_encrypt(rsa_cred.public_bytes, premaster, _rng(3))
+    assert len(ct) == 1024 // 8
+    assert provider.rsa_decrypt(rsa_cred, ct, expected_len=48) == premaster
+
+
+def test_rsa_decrypt_rejects_garbage(provider, rsa_cred):
+    with pytest.raises(RsaError):
+        provider.rsa_decrypt(rsa_cred, b"\x01" * 128, expected_len=48)
+
+
+def test_rsa_signature_roundtrip(provider, rsa_cred):
+    sig = provider.sign(rsa_cred, b"server params")
+    assert len(sig) == 1024 // 8
+    assert provider.verify("rsa", rsa_cred.public_bytes, b"server params", sig)
+    assert not provider.verify("rsa", rsa_cred.public_bytes, b"other", sig)
+
+
+def test_rsa_sig_bound_to_key(provider):
+    c1 = provider.make_rsa_credentials(1024, _rng(1), key_id="a")
+    c2 = provider.make_rsa_credentials(1024, _rng(2), key_id="b")
+    sig = provider.sign(c1, b"m")
+    assert not provider.verify("rsa", c2.public_bytes, b"m", sig)
+
+
+# -- ECDSA path ---------------------------------------------------------------
+
+@pytest.mark.parametrize("curve", ["P-256", "B-283"])
+def test_ecdsa_roundtrip(provider, curve):
+    cred = provider.make_ecdsa_credentials(curve, _rng(4))
+    sig = provider.sign(cred, b"handshake transcript")
+    assert provider.verify("ecdsa", cred.public_bytes,
+                           b"handshake transcript", sig, curve=curve)
+    assert not provider.verify("ecdsa", cred.public_bytes,
+                               b"tampered", sig, curve=curve)
+
+
+# -- ECDHE path ----------------------------------------------------------------
+
+@pytest.mark.parametrize("curve", ["P-256", "P-384", "K-283"])
+def test_ecdh_agreement(provider, curve):
+    a = provider.ecdh_keygen(curve, _rng(5))
+    b = provider.ecdh_keygen(curve, _rng(6))
+    s1 = provider.ecdh_shared(a, b.public_bytes)
+    s2 = provider.ecdh_shared(b, a.public_bytes)
+    assert s1 == s2
+    assert len(s1) > 0
+
+
+def test_ecdh_public_encoding_width(provider):
+    share = provider.ecdh_keygen("P-256", _rng(7))
+    assert len(share.public_bytes) == 65  # 04 || X(32) || Y(32)
+    assert share.public_bytes[0] == 4
+
+
+def test_ecdh_different_keys_different_secrets(provider):
+    a = provider.ecdh_keygen("P-256", _rng(8))
+    b = provider.ecdh_keygen("P-256", _rng(9))
+    c = provider.ecdh_keygen("P-256", _rng(10))
+    assert provider.ecdh_shared(a, b.public_bytes) != \
+        provider.ecdh_shared(a, c.public_bytes)
+
+
+# -- KDFs ------------------------------------------------------------------------
+
+def test_prf_consistent_across_providers():
+    """PRF is a shared real implementation — identical everywhere."""
+    args = (b"secret", b"key expansion", b"seed", 104)
+    assert PROVIDERS[0].prf(*args) == PROVIDERS[1].prf(*args)
+
+
+def test_hkdf_consistent_across_providers():
+    a = PROVIDERS[0].hkdf_expand_label(b"\x01" * 32, b"key", b"", 16)
+    b = PROVIDERS[1].hkdf_expand_label(b"\x01" * 32, b"key", b"", 16)
+    assert a == b
+
+
+# -- record protection -------------------------------------------------------------
+
+def _roundtrip_record(provider, payload):
+    ek, mk, iv = b"\x01" * 16, b"\x02" * 20, b"\x03" * 16
+    frag = provider.encrypt_record_cbc_hmac(ek, mk, seq=5, content_type=23,
+                                            version=0x0303, payload=payload,
+                                            iv=iv)
+    out = provider.decrypt_record_cbc_hmac(ek, mk, seq=5, content_type=23,
+                                           version=0x0303, fragment=frag)
+    return frag, out
+
+
+@pytest.mark.parametrize("size", [0, 1, 15, 16, 100, 1000])
+def test_record_roundtrip(provider, size):
+    payload = bytes(range(256)) * (size // 256 + 1)
+    payload = payload[:size]
+    frag, out = _roundtrip_record(provider, payload)
+    assert out == payload
+
+
+def test_record_ciphertext_length_identical_across_providers():
+    """The modeled provider must preserve the CBC/HMAC wire arithmetic."""
+    for size in (0, 1, 100, 16384):
+        payload = b"\x00" * size
+        frags = []
+        for p in PROVIDERS:
+            ek, mk, iv = b"\x01" * 16, b"\x02" * 20, b"\x03" * 16
+            frags.append(p.encrypt_record_cbc_hmac(
+                ek, mk, 0, 23, 0x0303, payload, iv))
+        assert len(frags[0]) == len(frags[1]), f"size={size}"
+
+
+def test_record_wrong_seq_rejected(provider):
+    ek, mk, iv = b"\x01" * 16, b"\x02" * 20, b"\x03" * 16
+    frag = provider.encrypt_record_cbc_hmac(ek, mk, 1, 23, 0x0303, b"data", iv)
+    with pytest.raises(VerifyError):
+        provider.decrypt_record_cbc_hmac(ek, mk, 2, 23, 0x0303, frag)
+
+
+def test_record_wrong_key_rejected(provider):
+    ek, mk, iv = b"\x01" * 16, b"\x02" * 20, b"\x03" * 16
+    frag = provider.encrypt_record_cbc_hmac(ek, mk, 1, 23, 0x0303, b"data", iv)
+    with pytest.raises(VerifyError):
+        provider.decrypt_record_cbc_hmac(b"\x09" * 16, mk, 1, 23, 0x0303, frag)
+
+
+def test_record_too_short_rejected(provider):
+    with pytest.raises(VerifyError):
+        provider.decrypt_record_cbc_hmac(b"\x01" * 16, b"\x02" * 20, 0, 23,
+                                         0x0303, b"tiny")

@@ -1,0 +1,98 @@
+"""Tests for the appendix A.7 conf-text parser."""
+
+import pytest
+
+from repro.server.conf_text import (ConfError, parse_conf,
+                                    server_config_from_text)
+
+PAPER_EXAMPLE = """
+worker_processes 8;
+load_module modules/ngx_ssl_engine_qat_module.so;
+ssl_engine {
+    use qat_engine;
+    default_algorithm RSA,EC,DH,PKEY_CRYPTO;
+    qat_engine {
+        qat_offload_mode async;
+        qat_notify_mode poll;
+        qat_poll_mode heuristic;
+        qat_heuristic_poll_asym_threshold 48;
+        qat_heuristic_poll_sym_threshold 24;
+    }
+}
+"""
+
+
+def test_paper_appendix_example_parses():
+    cfg = server_config_from_text(PAPER_EXAMPLE)
+    assert cfg.worker_processes == 8
+    assert cfg.ssl_engine.use_engine == "qat_engine"
+    assert cfg.ssl_engine.default_algorithm == ("RSA", "EC", "DH",
+                                                "PKEY_CRYPTO")
+    assert cfg.ssl_engine.qat_offload_mode == "async"
+    assert cfg.ssl_engine.qat_poll_mode == "heuristic"
+    assert cfg.ssl_engine.qat_heuristic_poll_asym_threshold == 48
+    assert cfg.ssl_engine.qat_heuristic_poll_sym_threshold == 24
+    assert cfg.uses_qat and cfg.async_offload
+
+
+def test_parse_tree_structure():
+    tree = parse_conf("a 1;\nb { c 2; d { e 3; } }")
+    assert tree["a"] == ["1"]
+    assert tree["b"]["c"] == ["2"]
+    assert tree["b"]["d"]["e"] == ["3"]
+
+
+def test_comments_ignored():
+    tree = parse_conf("# header\nx 1; # trailing\n")
+    assert tree == {"x": ["1"]}
+
+
+def test_suite_and_curve_directives():
+    cfg = server_config_from_text(
+        "ssl_ciphers ECDHE-RSA:TLS-RSA;\nssl_ecdh_curve P-384:P-256;\n"
+        "ssl_protocols TLSv1.2;\n")
+    assert cfg.suites == ("ECDHE-RSA", "TLS-RSA")
+    assert cfg.curves == ("P-384", "P-256")
+
+
+def test_tls13_protocol():
+    cfg = server_config_from_text(
+        "ssl_ciphers TLS1.3-ECDHE-RSA;\nssl_protocols TLSv1.3;")
+    assert cfg.tls_version == "1.3"
+
+
+def test_notify_mode_directive():
+    cfg = server_config_from_text("ssl_asynch_notify queue;")
+    assert cfg.async_notify_mode == "queue"
+
+
+def test_timer_poll_settings():
+    cfg = server_config_from_text(
+        "ssl_engine { use qat_engine; "
+        "qat_engine { qat_poll_mode timer; "
+        "qat_timer_poll_interval 0.00001; } }")
+    assert cfg.ssl_engine.qat_poll_mode == "timer"
+    assert cfg.ssl_engine.qat_timer_poll_interval == pytest.approx(1e-5)
+
+
+@pytest.mark.parametrize("bad,msg", [
+    ("bogus_directive on;", "unknown directive"),
+    ("x 1", "missing ';'"),
+    ("{ }", "block without a name"),
+    ("a { b 1;", "unbalanced"),
+    ("a 1; }", "unbalanced"),
+    (";", "empty directive"),
+    ("ssl_engine { whatever 1; }", "unknown ssl_engine"),
+    ("ssl_engine { qat_engine { nope 1; } }", "unknown qat_engine"),
+    ("ssl_protocols SSLv3;", "unsupported protocol"),
+    ("ssl_asynch_notify telepathy;", "unknown notify mode"),
+    ("worker_processes 1 2;", "exactly one"),
+])
+def test_malformed_rejected(bad, msg):
+    with pytest.raises(ConfError, match=msg):
+        server_config_from_text(bad)
+
+
+def test_validation_applies():
+    with pytest.raises(ValueError):
+        server_config_from_text("worker_processes 0;")

@@ -1,0 +1,40 @@
+"""HTTP layer tests."""
+
+import pytest
+
+from repro.server.http import (RESPONSE_HEADER_SIZE, encode_request,
+                               parse_request, response_body)
+
+
+def test_roundtrip():
+    raw = encode_request(65536, keepalive=True)
+    req = parse_request(raw)
+    assert req.size == 65536
+    assert req.keepalive
+
+
+def test_connection_close():
+    req = parse_request(encode_request(100, keepalive=False))
+    assert not req.keepalive
+
+
+def test_zero_size():
+    assert parse_request(encode_request(0)).size == 0
+
+
+def test_malformed_rejected():
+    for raw in (b"", b"\xff\xfe", b"POST /x HTTP/1.1\r\n\r\n",
+                b"GET /file?size=-5 HTTP/1.1\r\n\r\n",
+                b"GETnospace"):
+        with pytest.raises(ValueError):
+            parse_request(raw)
+
+
+def test_response_body_size_and_cache():
+    b1 = response_body(1000)
+    assert len(b1) == RESPONSE_HEADER_SIZE + 1000
+    assert response_body(1000) is b1  # cached
+
+
+def test_response_body_header_prefix():
+    assert response_body(10)[:RESPONSE_HEADER_SIZE] == b"H" * RESPONSE_HEADER_SIZE
