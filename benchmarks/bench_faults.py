@@ -1,0 +1,30 @@
+"""Fault injection: CPS through QAT fault -> degradation -> recovery.
+
+Runnable standalone for CI smoke checks::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py --smoke
+
+exits non-zero if any robustness check fails.
+"""
+
+from repro.bench.experiments import run_faults
+
+
+def test_faults(run_experiment):
+    run_experiment(run_faults)
+
+
+if __name__ == "__main__":
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        description="QAT fault-injection robustness experiment")
+    parser.add_argument("--smoke", action="store_true",
+                        help="compressed single-config timeline (CI)")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    result = run_faults(quick=True, seed=args.seed, smoke=args.smoke)
+    print(result.render())
+    sys.exit(0 if result.all_checks_pass else 1)

@@ -6,6 +6,7 @@ from .ablations import (run_async_impl, run_fd_sharing,
                         run_thresholds)
 from .cycles import run as run_cycles
 from .ext_tls13_resumption import run as run_ext_tls13_resumption
+from .faults import run as run_faults
 from .utilization import run as run_utilization
 from .fig7 import run_fig7a, run_fig7b, run_fig7c
 from .fig8 import run as run_fig8
@@ -37,6 +38,7 @@ ALL_EXPERIMENTS = {
     "utilization": run_utilization,
     "cycles": run_cycles,
     "ext-tls13-resumption": run_ext_tls13_resumption,
+    "faults": run_faults,
 }
 
 __all__ = ["ALL_EXPERIMENTS", "run_table1", "run_fig7a", "run_fig7b",

@@ -15,6 +15,7 @@ from ..core.metrics import ClientMetrics
 from ..crypto.provider import CryptoProvider, ModeledCryptoProvider
 from ..net.network import Network
 from ..qat.device import dh8970
+from ..qat.faults import FaultPlan
 from ..server.master import TlsServer
 from ..sim.kernel import Simulator
 from ..sim.rng import RngRegistry
@@ -57,7 +58,9 @@ class Testbed:
                  tls_version: str = "1.2", rsa_bits: int = 2048,
                  provider: Optional[CryptoProvider] = None,
                  cost_model: Optional[CostModel] = None,
-                 seed: int = 7, **config_overrides) -> None:
+                 seed: int = 7,
+                 fault_plan: Optional[Dict] = None,
+                 **config_overrides) -> None:
         self.config_name = config_name
         self.sim = Simulator()
         self.rng = RngRegistry(seed)
@@ -68,6 +71,14 @@ class Testbed:
             config_name, workers=workers, suites=suites, curves=curves,
             tls_version=tls_version, rsa_bits=rsa_bits, **config_overrides)
         self.device = dh8970(self.sim) if self.config.uses_qat else None
+        #: Fault injection (robustness experiments): ``fault_plan`` is
+        #: the FaultPlan kwargs; its randomness draws from the testbed's
+        #: seeded registry, so the whole faulted run replays from seed.
+        self.fault_plan: Optional[FaultPlan] = None
+        if fault_plan is not None and self.device is not None:
+            self.fault_plan = FaultPlan(self.rng.stream("faults"),
+                                        **fault_plan)
+            self.device.install_fault_plan(self.fault_plan)
         self.server = TlsServer(self.sim, self.net, self.config,
                                 self.provider, self.rng,
                                 qat_device=self.device,

@@ -1,9 +1,11 @@
 """Crypto execution engines (software baseline + QAT Engine layer)."""
 
 from .base import Engine
+from .health import CircuitBreaker, OffloadTimeout
 from .inflight import InflightCounters
 from .qat_engine import ALGORITHM_GROUPS, QatEngine, RingFull
 from .software import SoftwareEngine
 
 __all__ = ["Engine", "SoftwareEngine", "QatEngine", "RingFull",
-           "InflightCounters", "ALGORITHM_GROUPS"]
+           "InflightCounters", "ALGORITHM_GROUPS",
+           "CircuitBreaker", "OffloadTimeout"]

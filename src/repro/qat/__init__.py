@@ -9,6 +9,7 @@ from .device import QatDevice, dh8970
 from .driver import (POLL_CPU_COST, POLL_PER_RESPONSE_CPU_COST,
                      SUBMIT_CPU_COST, QatUserspaceDriver)
 from .endpoint import QatEndpoint
+from .faults import FaultPlan, OutageWindow, QatHardwareError
 from .firmware import FirmwareCounters
 from .instance import CryptoInstance
 from .request import QatRequest, QatResponse
@@ -19,6 +20,7 @@ from .service_times import (PCIE_LATENCY, qat_pipeline_latency,
 __all__ = [
     "QatDevice", "dh8970", "QatEndpoint", "CryptoInstance", "RingPair",
     "QatRequest", "QatResponse", "QatUserspaceDriver", "FirmwareCounters",
+    "FaultPlan", "OutageWindow", "QatHardwareError",
     "qat_service_time", "qat_pipeline_latency", "PCIE_LATENCY",
     "DEFAULT_RING_CAPACITY",
     "SUBMIT_CPU_COST", "POLL_CPU_COST", "POLL_PER_RESPONSE_CPU_COST",

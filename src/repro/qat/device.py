@@ -36,6 +36,7 @@ class QatDevice:
             for i in range(n_endpoints)
         ]
         self._alloc_cursor = 0
+        self.fault_plan = None
 
     def allocate_instances(self, count: int) -> List[CryptoInstance]:
         """Allocate ``count`` instances spread evenly over endpoints
@@ -51,13 +52,42 @@ class QatDevice:
     def total_engines(self) -> int:
         return sum(ep.n_engines for ep in self.endpoints)
 
+    def install_fault_plan(self, plan) -> None:
+        """Attach a :class:`~repro.qat.faults.FaultPlan` to every
+        endpoint and schedule its endpoint resets."""
+        self.fault_plan = plan
+        for ep in self.endpoints:
+            ep.fault_plan = plan
+        for endpoint_id, when in plan.resets:
+            ep = self.endpoints[endpoint_id]
+            self.sim.call_at(when, ep.reset)
+
     def fw_counter_totals(self) -> dict:
         """Aggregate firmware counters across endpoints (the artifact
-        appendix's ``cat /sys/kernel/debug/qat*/fw_counters`` check)."""
+        appendix's ``cat /sys/kernel/debug/qat*/fw_counters`` check),
+        plus driver-level degradation counters and any fault-plan
+        injection totals."""
         total: dict = {}
         for ep in self.endpoints:
             for key, val in ep.fw_counters.snapshot().items():
                 total[key] = total.get(key, 0) + val
+        total["responses_lost"] = sum(ep.responses_lost
+                                      for ep in self.endpoints)
+        for key in ("submitted", "submit_failures", "op_timeouts",
+                    "fallback_ops"):
+            total[f"driver.{key}"] = 0
+        for ep in self.endpoints:
+            for inst in ep.instances:
+                drv = inst.driver
+                if drv is None:
+                    continue
+                total["driver.submitted"] += drv.submitted
+                total["driver.submit_failures"] += drv.submit_failures
+                total["driver.op_timeouts"] += drv.op_timeouts
+                total["driver.fallback_ops"] += drv.fallback_ops
+        if self.fault_plan is not None:
+            for key, val in self.fault_plan.counters().items():
+                total[f"faults.{key}"] = val
         return total
 
     def total_in_flight(self) -> int:

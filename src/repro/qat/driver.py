@@ -31,23 +31,30 @@ class QatUserspaceDriver:
 
     def __init__(self, instance: CryptoInstance) -> None:
         self.instance = instance
+        instance.driver = self
         self.submitted = 0
         self.submit_failures = 0
         self.polls = 0
         self.empty_polls = 0
         self.responses_retrieved = 0
+        # Degradation counters, charged by the engine layer: requests
+        # whose response missed its deadline, and ops completed through
+        # the software fallback after failing on this instance.
+        self.op_timeouts = 0
+        self.fallback_ops = 0
 
     def try_submit(self, op: CryptoOp, compute: Callable[[], Any],
-                   cookie: Any = None) -> bool:
-        """Submit a request; returns False when the ring is full (the
-        caller pauses the offload job and retries — paper section 3.2)."""
+                   cookie: Any = None) -> Optional[QatRequest]:
+        """Submit a request; returns the accepted request (truthy) or
+        None when the ring is full — the caller pauses the offload job
+        and retries (paper section 3.2). Returning the request lets the
+        engine track per-request identity and deadlines."""
         request = QatRequest(op=op, compute=compute, cookie=cookie)
-        ok = self.instance.try_submit(request)
-        if ok:
+        if self.instance.try_submit(request):
             self.submitted += 1
-        else:
-            self.submit_failures += 1
-        return ok
+            return request
+        self.submit_failures += 1
+        return None
 
     def poll(self, max_responses: Optional[int] = None) -> List[QatResponse]:
         """Retrieve available responses (non-blocking)."""

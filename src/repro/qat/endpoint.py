@@ -43,6 +43,9 @@ class QatEndpoint:
         self.instances: List[CryptoInstance] = []
         self.fw_counters = FirmwareCounters()
         self._rr_cursor = 0  # round-robin over instance rings
+        #: Installed by :meth:`QatDevice.install_fault_plan`.
+        self.fault_plan = None
+        self.responses_lost = 0
 
     # -- provisioning ---------------------------------------------------
 
@@ -98,12 +101,22 @@ class QatEndpoint:
         """One engine executing one request (a simulation process)."""
         # Inbound DMA + calculation (engine occupied).
         service = qat_service_time(request.op)
+        plan = self.fault_plan
+        if plan is not None:
+            service *= plan.latency_multiplier(self.endpoint_id,
+                                               request.op, self.sim.now)
         yield self.sim.timeout(self.pcie_latency + service)
         response = QatResponse(request)
         try:
             response.result = request.compute()
         except Exception as exc:  # functional failure -> errored response
             response.error = exc
+        if plan is not None:
+            hw_error = plan.corrupt(self.endpoint_id, request.op,
+                                    self.sim.now)
+            if hw_error is not None:
+                response.result = None
+                response.error = hw_error
         self.fw_counters.record(request.op, ok=response.ok)
         # The engine frees up now; completion continues down the
         # response pipeline (firmware + outbound DMA) without holding
@@ -112,7 +125,22 @@ class QatEndpoint:
         self._dispatch()  # pull more work if rings are backed up
         yield self.sim.timeout(self.pcie_latency
                                + qat_pipeline_latency(request.op))
+        if plan is not None and plan.response_lost(self.endpoint_id,
+                                                   request.op, self.sim.now):
+            self.responses_lost += 1
+            ring.drop_response(response)
+            return
         ring.land_response(response)
+
+    def reset(self) -> int:
+        """Device-level recovery: wipe every instance's rings. Ops that
+        were queued (or landed but unretrieved) are silently dropped —
+        their owners must recover through deadline/failover paths."""
+        dropped = sum(inst.reset() for inst in self.instances)
+        if self.fault_plan is not None:
+            self.fault_plan.on_reset(self.endpoint_id, dropped,
+                                     self.sim.now)
+        return dropped
 
     # -- introspection ---------------------------------------------------
 

@@ -27,6 +27,9 @@ class CryptoInstance:
         self.instance_id = instance_id
         self.rings = rings
         self.owner: Optional[object] = None  # the worker it is assigned to
+        #: The userspace driver bound to this instance (set by the
+        #: driver; lets the device aggregate driver-level counters).
+        self.driver: Optional[object] = None
 
     def _ring_for(self, category: OpCategory) -> RingPair:
         return self.rings[category.value]
@@ -34,7 +37,12 @@ class CryptoInstance:
     # -- driver-facing API ---------------------------------------------------
 
     def try_submit(self, request: QatRequest) -> bool:
-        """Non-blocking submission; False when the target ring is full."""
+        """Non-blocking submission; False when the target ring is full
+        (or an injected outage / ring-full storm refuses the write)."""
+        plan = self.endpoint.fault_plan
+        if plan is not None and plan.submit_rejected(
+                self.endpoint.endpoint_id, self.endpoint.sim.now):
+            return False
         ring = self._ring_for(request.op.category)
         if not ring.try_submit(request):
             return False
@@ -51,6 +59,11 @@ class CryptoInstance:
                 break
             out.extend(ring.poll_responses(budget))
         return out
+
+    def reset(self) -> int:
+        """Wipe this instance's rings (device recovery); returns the
+        number of queued/landed entries dropped."""
+        return sum(ring.reset() for ring in self.rings.values())
 
     def set_response_callback(self, callback) -> None:
         """Arm hardware interrupts: ``callback(ring)`` fires whenever a

@@ -13,7 +13,7 @@ __all__ = ["QatRequest", "QatResponse"]
 _request_ids = count(1)
 
 
-@dataclass
+@dataclass(eq=False)  # identity semantics: hashable in-flight table key
 class QatRequest:
     """A crypto request written to a request ring.
 

@@ -84,6 +84,22 @@ class RingPair:
         if self.response_callback is not None:
             self.response_callback(self)
 
+    def drop_response(self, response: QatResponse) -> None:
+        """A completion whose response write was lost (fault injection):
+        nothing lands, but the hardware still credits the slot back."""
+        self._occupied -= 1
+
+    def reset(self) -> int:
+        """Device-level recovery: wipe queued requests and unretrieved
+        responses, crediting their slots. Requests already inside the
+        hardware pipeline keep their slots and complete (or are
+        dropped) through the normal paths. Returns entries dropped."""
+        dropped = len(self._requests) + len(self._responses)
+        self._occupied -= dropped
+        self._requests.clear()
+        self._responses.clear()
+        return dropped
+
     # -- introspection -----------------------------------------------------
 
     @property

@@ -173,5 +173,19 @@ def _parse_qat_engine(block: Block, engine: SslEngineConfig) -> None:
                 _one(value, directive))
         elif directive == "qat_failover_timer":
             engine.qat_failover_timer = float(_one(value, directive))
+        elif directive == "qat_request_deadline":
+            engine.qat_request_deadline = float(_one(value, directive))
+        elif directive == "qat_watchdog_interval":
+            engine.qat_watchdog_interval = float(_one(value, directive))
+        elif directive == "qat_submit_max_retries":
+            engine.qat_submit_max_retries = int(_one(value, directive))
+        elif directive == "qat_breaker_failure_threshold":
+            engine.qat_breaker_failure_threshold = int(
+                _one(value, directive))
+        elif directive == "qat_breaker_reset_timeout":
+            engine.qat_breaker_reset_timeout = float(_one(value, directive))
+        elif directive == "qat_software_fallback":
+            engine.qat_software_fallback = (
+                _one(value, directive) not in ("off", "0", "false"))
         else:
             raise ConfError(f"unknown qat_engine directive {directive!r}")

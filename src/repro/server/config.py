@@ -36,6 +36,18 @@ class SslEngineConfig:
     #: multiple instances from different endpoints employ more
     #: computation engines).
     qat_instances_per_worker: int = 1
+    #: Graceful-degradation knobs (robustness layer). The deadline is
+    #: generous by default — worst-case legitimate queueing at card
+    #: saturation is a few ms, so healthy runs never trip it.
+    qat_request_deadline: float = 25e-3
+    #: Worker watchdog sweep interval (0 disables the watchdog).
+    qat_watchdog_interval: float = 5e-3
+    qat_submit_max_retries: int = 32
+    qat_breaker_failure_threshold: int = 5
+    qat_breaker_reset_timeout: float = 10e-3
+    #: Complete failed/expired offload ops on the CPU instead of
+    #: surfacing OffloadTimeout to the TLS layer.
+    qat_software_fallback: bool = True
 
     def validate(self) -> None:
         if self.use_engine not in ("", "qat_engine"):
@@ -55,6 +67,16 @@ class SslEngineConfig:
             raise ValueError("heuristic thresholds must be >= 1")
         if self.qat_instances_per_worker < 1:
             raise ValueError("need at least one instance per worker")
+        if self.qat_request_deadline <= 0:
+            raise ValueError("request deadline must be positive")
+        if self.qat_watchdog_interval < 0:
+            raise ValueError("watchdog interval must be >= 0")
+        if self.qat_submit_max_retries < 1:
+            raise ValueError("need at least one submit attempt")
+        if self.qat_breaker_failure_threshold < 1:
+            raise ValueError("breaker failure threshold must be >= 1")
+        if self.qat_breaker_reset_timeout <= 0:
+            raise ValueError("breaker reset timeout must be positive")
 
 
 @dataclass

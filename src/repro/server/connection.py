@@ -58,6 +58,12 @@ class ServerConnection:
         self.current_request: Optional[Any] = None
         self.requests_served = 0
         self.handshake_completed_at: Optional[float] = None
+        #: When this connection entered TLS-ASYNC (watchdog deadline
+        #: anchor); None while not paused.
+        self.async_since: Optional[float] = None
+        #: Earliest time a ring-full retry should be re-attempted
+        #: (exponential submit backoff).
+        self.retry_not_before = 0.0
 
     @property
     def is_idle(self) -> bool:
@@ -81,6 +87,7 @@ class ServerConnection:
         self.state = self.prior_state
         self.prior_state = None
         self.async_handler = None
+        self.async_since = None
         return handler
 
     def __repr__(self) -> str:  # pragma: no cover

@@ -105,9 +105,17 @@ class TlsServer:
                 if config.uses_qat:
                     drivers = [QatUserspaceDriver(inst)
                                for inst in instance]
+                    eng_cfg = config.ssl_engine
                     engine = QatEngine(
                         drivers, core, self.cost_model,
-                        algorithms=config.ssl_engine.default_algorithm)
+                        algorithms=eng_cfg.default_algorithm,
+                        request_deadline=eng_cfg.qat_request_deadline,
+                        submit_max_retries=eng_cfg.qat_submit_max_retries,
+                        breaker_failure_threshold=(
+                            eng_cfg.qat_breaker_failure_threshold),
+                        breaker_reset_timeout=(
+                            eng_cfg.qat_breaker_reset_timeout),
+                        software_fallback=eng_cfg.qat_software_fallback)
                 else:
                     engine = SoftwareEngine(core, self.cost_model)
                 async_mode = (config.async_impl if config.async_offload

@@ -20,6 +20,14 @@ class StubStatus:
         self.tls_idle = 0
         self.total_accepted = 0
         self.total_closed = 0
+        # Degradation section (robustness layer): refreshed by the
+        # worker from the engine/driver counters, plus the watchdog's
+        # own rescue count.
+        self.fallback_ops = 0
+        self.op_timeouts = 0
+        self.open_breakers = 0
+        self.submit_failures = 0
+        self.watchdog_rescues = 0
 
     # -- lifecycle hooks -------------------------------------------------
 
@@ -56,3 +64,34 @@ class StubStatus:
             raise RuntimeError(
                 f"stub_status inconsistent: alive={self.tls_alive} "
                 f"idle={self.tls_idle}")
+
+    # -- degradation reporting ------------------------------------------------
+
+    def update_degradation(self, *, fallback_ops: int, op_timeouts: int,
+                           open_breakers: int, submit_failures: int) -> None:
+        """Refresh the offload-health counters (worker watchdog)."""
+        self.fallback_ops = fallback_ops
+        self.op_timeouts = op_timeouts
+        self.open_breakers = open_breakers
+        self.submit_failures = submit_failures
+
+    @property
+    def degraded(self) -> bool:
+        """Is the offload path currently (or was it ever) impaired?"""
+        return (self.fallback_ops > 0 or self.op_timeouts > 0
+                or self.open_breakers > 0 or self.watchdog_rescues > 0)
+
+    def render(self) -> str:
+        """The stub_status page text (Nginx style, plus the QTLS
+        TLS-connection and offload-degradation extensions)."""
+        return (
+            f"Active connections: {self.tls_active}\n"
+            f"TLS alive: {self.tls_alive} idle: {self.tls_idle} "
+            f"active: {self.tls_active}\n"
+            f"accepted: {self.total_accepted} closed: {self.total_closed}\n"
+            f"offload degradation: fallback_ops {self.fallback_ops} "
+            f"op_timeouts {self.op_timeouts} "
+            f"open_breakers {self.open_breakers} "
+            f"submit_failures {self.submit_failures} "
+            f"watchdog_rescues {self.watchdog_rescues}\n"
+        )

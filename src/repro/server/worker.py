@@ -104,7 +104,11 @@ class Worker:
         eng_cfg = config.ssl_engine
         if config.async_offload and isinstance(self.engine, QatEngine):
             out_of_loop = (eng_cfg.qat_notify_mode == "interrupt"
-                           or eng_cfg.qat_poll_mode == "timer")
+                           or eng_cfg.qat_poll_mode == "timer"
+                           # The watchdog also dispatches outside the
+                           # loop (fallback deliveries while epoll is
+                           # blocked).
+                           or eng_cfg.qat_watchdog_interval > 0)
             if out_of_loop and config.async_notify_mode == "queue":
                 self.wake_fd = NotifyFd(sim, label=f"w{worker_id}-wake")
                 self.epoll.register(self.wake_fd)
@@ -136,11 +140,16 @@ class Worker:
                 self.config.ssl_engine.qat_failover_timer > 0:
             self.sim.process(self._failover_loop(),
                              name=f"w{self.worker_id}-failover")
+        if (self.config.async_offload and isinstance(self.engine, QatEngine)
+                and self.config.ssl_engine.qat_watchdog_interval > 0):
+            self.sim.process(self._watchdog_loop(),
+                             name=f"w{self.worker_id}-watchdog")
 
     def stop(self) -> None:
         self.running = False
         if self.timer_thread is not None:
             self.timer_thread.stop()
+        self._refresh_degradation()
 
     # -- the main event loop (paper section 2.2 / 3.4) -----------------------------
 
@@ -168,13 +177,19 @@ class Worker:
             yield from self._heuristic_check()
 
     def _loop_timeout(self) -> Optional[float]:
-        if self.async_queue or self.retries:
+        if self.async_queue:
             return 0.0
+        timeout: Optional[float] = None
+        if self.retries:
+            # Sleep only until the earliest backed-off retry is due.
+            due = min(c.retry_not_before for c in self.retries)
+            timeout = max(0.0, due - self.sim.now)
         if self.poller is not None and self.engine.inflight.total > 0:
             # Keep the loop executing while requests are in flight
             # instead of sleep-waiting (section 3.4).
-            return SPIN_TIMEOUT
-        return None  # block until an event arrives
+            return (SPIN_TIMEOUT if timeout is None
+                    else min(timeout, SPIN_TIMEOUT))
+        return timeout  # None: block until an event arrives
 
     def _heuristic_check(self) -> Generator:
         if self.poller is not None:
@@ -192,6 +207,54 @@ class Worker:
                     and self.engine.inflight.total > 0):
                 yield from self.engine.poll_and_dispatch(owner="failover")
             last_polls = self.poller.polls
+
+    def _watchdog_loop(self) -> Generator:
+        """Graceful-degradation sweep: expire in-flight requests past
+        their deadline (section 4.3's failover generalized to hardware
+        faults) and rescue connections stuck in TLS-ASYNC — either the
+        notification was lost (response ready, handler never ran) or
+        the request itself vanished (e.g. wiped by an endpoint reset).
+        """
+        interval = self.config.ssl_engine.qat_watchdog_interval
+        stuck_age = self.engine.request_deadline + 2 * interval
+        while self.running:
+            yield self.sim.timeout(interval)
+            delivered = yield from self.engine.check_timeouts(owner=self)
+            rescued = 0
+            for conn in list(self.conns.values()):
+                if not conn.in_async or conn.async_since is None:
+                    continue
+                job = conn.ssl.job
+                if job is None or self.sim.now - conn.async_since <= stuck_age:
+                    continue
+                if job.response_ready:
+                    # Response delivered but the handler never ran:
+                    # reschedule it directly.
+                    conn.retry_not_before = 0.0
+                    self.retries.append(conn)
+                    rescued += 1
+                elif (job.state.name == "PAUSED"
+                        and not self.engine.is_pending(job)):
+                    ok = yield from self.engine.fail_over_job(job, owner=self)
+                    if ok:
+                        rescued += 1
+            self.stub_status.watchdog_rescues += rescued
+            self._refresh_degradation()
+            if (delivered or rescued) and self.wake_fd is not None:
+                # Deliveries happened outside the loop; make sure a
+                # blocked epoll_wait sees the queued notifications.
+                self.wake_fd.write_event()
+
+    def _refresh_degradation(self) -> None:
+        """Publish offload-health counters on the stub_status page."""
+        eng = self.engine
+        if not isinstance(eng, QatEngine):
+            return
+        self.stub_status.update_degradation(
+            fallback_ops=eng.ops_fallback,
+            op_timeouts=eng.op_timeouts,
+            open_breakers=eng.open_breakers,
+            submit_failures=sum(d.submit_failures for d in eng.drivers))
 
     # -- accept path -----------------------------------------------------------------
 
@@ -253,6 +316,7 @@ class Worker:
     def _setup_async(self, conn: ServerConnection, handler) -> Generator:
         """Enter TLS-ASYNC and arm the notification channel."""
         conn.enter_async(handler)
+        conn.async_since = self.sim.now
         job = conn.ssl.job
         if self.config.async_notify_mode == "queue":
             # SSL_set_async_callback: the response callback will insert
@@ -293,9 +357,13 @@ class Worker:
             yield from self._heuristic_check()
 
     def _process_retries(self) -> Generator:
+        now = self.sim.now
         for _ in range(len(self.retries)):
             conn = self.retries.popleft()
             if conn.state is ConnState.CLOSED or not conn.in_async:
+                continue
+            if conn.retry_not_before > now:
+                self.retries.append(conn)  # backoff not elapsed yet
                 continue
             yield from self._resume_async(conn)
 
@@ -321,6 +389,13 @@ class Worker:
             return True
         if status is SslStatus.WANT_RETRY:
             yield from self._setup_async(conn, handler)
+            job = conn.ssl.job
+            if job is not None and isinstance(self.engine, QatEngine):
+                # Back off exponentially under ring-full storms instead
+                # of spinning the loop at timeout 0.
+                conn.retry_not_before = (
+                    self.sim.now
+                    + self.engine.submit_backoff(job.submit_attempts))
             self.retries.append(conn)
             return True
         return False

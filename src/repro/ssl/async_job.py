@@ -64,6 +64,9 @@ class AsyncJob:
         #: that returned WANT_READ).
         self.parked_action: Any = None
         self.swaps = 0   # context swaps (fiber) / API re-entries (stack)
+        #: Consecutive failed ring submissions (reset on acceptance);
+        #: bounds the WANT_RETRY loop under ring-full storms.
+        self.submit_attempts = 0
 
     # -- engine-facing ------------------------------------------------------
 

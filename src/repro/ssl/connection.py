@@ -195,8 +195,18 @@ class SslConnection:
                                                     owner=owner)
                             job.swaps += 1
                         return SslStatus.WANT_ASYNC
-                    job.mark_retry(action)
-                    return SslStatus.WANT_RETRY
+                    if engine.should_retry_submit(job):
+                        job.mark_retry(action)
+                        return SslStatus.WANT_RETRY
+                    # Degraded: retry budget spent or every instance's
+                    # breaker is open — complete this op on the CPU so
+                    # the handshake still makes progress.
+                    result = yield from engine.execute_fallback(action,
+                                                                owner)
+                    job.submit_attempts = 0
+                    job.record_crypto(result)
+                    outcome = job.advance(result)
+                    continue
                 # Synchronous path: software crypto, straight offload,
                 # or a non-offloadable op (HKDF) in async mode.
                 try:

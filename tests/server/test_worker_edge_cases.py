@@ -20,9 +20,11 @@ def test_connections_fully_drain_on_close():
     st = worker.stub_status
     assert st.total_closed > 0
     assert st.tls_alive == len(worker.conns)
-    # Epoll only watches live sockets + the listener + live notify fds.
+    # Epoll only watches live sockets + the listener + live notify fds
+    # (+ the worker's own wake fd when one is armed).
     watched = len(worker.epoll._watched)
-    assert watched <= 1 + len(worker.conns) + len(worker.fd_conns)
+    wake = 1 if worker.wake_fd is not None else 0
+    assert watched <= 1 + wake + len(worker.conns) + len(worker.fd_conns)
 
 
 def test_saved_read_handler_used_under_load():
