@@ -1,0 +1,30 @@
+"""Offload backends: SW vs QTLS-QAT (un/batched) vs QTLS-remote.
+
+Runnable standalone for CI smoke checks::
+
+    PYTHONPATH=src python benchmarks/bench_backends.py --smoke
+
+exits non-zero if any backend check fails.
+"""
+
+from repro.bench.experiments import run_backends
+
+
+def test_backends(run_experiment):
+    run_experiment(run_backends)
+
+
+if __name__ == "__main__":
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        description="pluggable offload-backend comparison experiment")
+    parser.add_argument("--smoke", action="store_true",
+                        help="single worker, short windows (CI)")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    result = run_backends(quick=True, seed=args.seed, smoke=args.smoke)
+    print(result.render())
+    sys.exit(0 if result.all_checks_pass else 1)

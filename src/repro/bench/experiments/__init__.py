@@ -4,6 +4,7 @@ from .ablations import (run_async_impl, run_fd_sharing,
                         run_instances_per_worker,
                         run_interrupt_vs_polling, run_p256_montgomery,
                         run_thresholds)
+from .backends import run as run_backends
 from .cycles import run as run_cycles
 from .ext_tls13_resumption import run as run_ext_tls13_resumption
 from .faults import run as run_faults
@@ -39,6 +40,7 @@ ALL_EXPERIMENTS = {
     "cycles": run_cycles,
     "ext-tls13-resumption": run_ext_tls13_resumption,
     "faults": run_faults,
+    "backends": run_backends,
 }
 
 __all__ = ["ALL_EXPERIMENTS", "run_table1", "run_fig7a", "run_fig7b",

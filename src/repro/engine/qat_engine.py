@@ -1,78 +1,41 @@
 """The QAT Engine layer: bridge between the TLS library and the QAT
 driver (paper sections 2.3, 3.2, 4.3).
 
-Two execution modes:
-
-- **straight (blocking)** — :meth:`QatEngine.execute_blocking`:
-  submit, then hold the worker's core until the response arrives
-  (busy-looping on the response ring). This is the QAT+S
-  configuration and exhibits exactly the offload-I/O blocking the
-  paper diagnoses (section 2.4).
-- **async** — :meth:`QatEngine.submit_async` +
-  :meth:`QatEngine.poll_and_dispatch`: submit with a registered
-  response cookie and return immediately; a polling scheme later
-  retrieves responses and the engine resumes the paused offload jobs
-  through their wait-ctx callbacks / notification FDs.
-
-Non-offloadable ops (HKDF) and ops excluded by the configured
-``default_algorithm`` set always run on the CPU via the software path.
-
-Resilience (the graceful-degradation layer): every accepted request is
-tracked in an in-flight table with a deadline; submit retries are
-bounded with exponential backoff; each instance has a circuit breaker
-that opens after repeated timeouts/corrupted responses; and failed or
-expired ops transparently fail over to the software crypto path so the
-TLS handshake always completes (or surface a typed
-:class:`~repro.engine.health.OffloadTimeout` when fallback is
-disabled).
+Since the offload-backend refactor this module is a thin adapter: all
+framework logic (in-flight table, deadlines, circuit breakers,
+batching, software failover, stale-response filtering) lives in the
+backend-agnostic :class:`~repro.offload.engine.AsyncOffloadEngine`,
+and all device access flows through
+:class:`~repro.offload.qat_backend.QatBackend`. :class:`QatEngine`
+merely binds the two together while preserving the historical
+constructor and introspection surface (``drivers``, ``driver``, ...).
 """
 
 from __future__ import annotations
 
-from typing import (Dict, Generator, Iterable, List, Optional, Sequence,
-                    Set, Tuple, Union)
+from typing import Iterable, List, Sequence, Union
 
 from ..core.costmodel import CostModel
 from ..cpu.core import Core
-from ..crypto.ops import CryptoOpKind
-from ..net.epoll_sim import NOTIFY_FD_WRITE_COST
-from ..qat.driver import SUBMIT_CPU_COST, QatUserspaceDriver
-from ..qat.faults import QatHardwareError
-from ..qat.request import QatRequest
-from ..tls.actions import CryptoCall
+from ..offload.engine import ALGORITHM_GROUPS, AsyncOffloadEngine
+from ..offload.errors import OffloadTimeout, RingFull
+from ..offload.qat_backend import QatBackend
+from ..qat.driver import QatUserspaceDriver
 from .base import Engine
-from .health import CircuitBreaker, OffloadTimeout, PendingOp
-from .inflight import InflightCounters
 
 __all__ = ["QatEngine", "RingFull", "OffloadTimeout", "ALGORITHM_GROUPS"]
 
-#: ``default_algorithm`` groups accepted by the ssl_engine framework
-#: (appendix A.7): which op kinds each group enables for offload.
-ALGORITHM_GROUPS = {
-    "RSA": {CryptoOpKind.RSA_PRIV, CryptoOpKind.RSA_PUB},
-    "EC": {CryptoOpKind.ECDSA_SIGN, CryptoOpKind.ECDSA_VERIFY,
-           CryptoOpKind.ECDH_KEYGEN, CryptoOpKind.ECDH_COMPUTE},
-    "DH": set(),
-    "PKEY_CRYPTO": {CryptoOpKind.PRF},
-    "CIPHER": {CryptoOpKind.RECORD_CIPHER},
-}
 
-
-class RingFull(RuntimeError):
-    """Submission failed because the hardware request ring is full."""
-
-
-class QatEngine(Engine):
+class QatEngine(AsyncOffloadEngine, Engine):
     """Per-worker QAT engine bound to one or more crypto instances.
 
     One instance is the paper's default deployment; assigning a worker
     several instances from different endpoints employs more
     computation engines (section 2.3: "one process can be assigned
     with multiple QAT instances from different endpoints"). Submission
-    round-robins across instances; polling drains all of them.
+    round-robins across instances; polling drains all of them from a
+    rotating start index.
     """
-
-    supports_async = True
 
     def __init__(self,
                  driver: Union[QatUserspaceDriver,
@@ -85,372 +48,32 @@ class QatEngine(Engine):
                  submit_max_retries: int = 32,
                  breaker_failure_threshold: int = 5,
                  breaker_reset_timeout: float = 10e-3,
-                 software_fallback: bool = True) -> None:
+                 software_fallback: bool = True,
+                 batch_size: int = 1,
+                 batch_timeout: float = 50e-6) -> None:
         if isinstance(driver, QatUserspaceDriver):
-            self.drivers: List[QatUserspaceDriver] = [driver]
+            drivers = [driver]
         else:
-            self.drivers = list(driver)
-            if not self.drivers:
+            drivers = list(driver)
+            if not drivers:
                 raise ValueError("need at least one driver")
-        if request_deadline <= 0:
-            raise ValueError("request deadline must be positive")
-        if submit_max_retries < 1:
-            raise ValueError("need at least one submit attempt")
-        self.driver = self.drivers[0]  # primary (compat/introspection)
-        self._rr = 0
-        self.core = core
-        self.cost_model = cost_model
-        self.busy_poll_slice = busy_poll_slice
-        self.request_deadline = request_deadline
-        self.submit_max_retries = submit_max_retries
-        self.software_fallback = software_fallback
-        self.breakers: List[CircuitBreaker] = [
-            CircuitBreaker(lambda: self.core.sim.now,
-                           failure_threshold=breaker_failure_threshold,
-                           reset_timeout=breaker_reset_timeout)
-            for _ in self.drivers
-        ]
-        #: In-flight table: every accepted async request and its
-        #: deadline. The sole source of truth for response ownership —
-        #: responses without an entry are stale (already timed out and
-        #: failed over) and must be dropped, not delivered twice.
-        self._pending: Dict[QatRequest, PendingOp] = {}
-        self.inflight = InflightCounters()
-        self._enabled_kinds: Set[CryptoOpKind] = set()
-        for group in algorithms:
-            try:
-                self._enabled_kinds |= ALGORITHM_GROUPS[group]
-            except KeyError:
-                raise ValueError(f"unknown algorithm group {group!r}") \
-                    from None
-        self.ops_offloaded = 0
-        self.ops_software = 0
-        self.responses_dispatched = 0
-        # Degradation counters.
-        self.ops_fallback = 0
-        self.op_timeouts = 0
-        self.responses_stale = 0
-        self.responses_corrupted = 0
-        # Cycle accounting (CPU seconds) for the utilization analyses.
-        self.software_crypto_time = 0.0
-        self.blocking_wait_time = 0.0
-        self.submit_time = 0.0
-        self.poll_time = 0.0
-
-    # -- engine command (paper section 4.3) ---------------------------------
-
-    def get_num_requests_in_flight(self) -> int:
-        """The new engine command exposing Rtotal to the application."""
-        return self.inflight.total
-
-    def offloads(self, call: CryptoCall) -> bool:
-        return (call.op.qat_offloadable
-                and call.op.kind in self._enabled_kinds)
+        super().__init__(
+            QatBackend(drivers), core, cost_model,
+            algorithms=algorithms,
+            busy_poll_slice=busy_poll_slice,
+            request_deadline=request_deadline,
+            submit_max_retries=submit_max_retries,
+            breaker_failure_threshold=breaker_failure_threshold,
+            breaker_reset_timeout=breaker_reset_timeout,
+            software_fallback=software_fallback,
+            batch_size=batch_size,
+            batch_timeout=batch_timeout)
 
     @property
-    def open_breakers(self) -> int:
-        return sum(1 for b in self.breakers if b.is_open)
+    def drivers(self) -> List[QatUserspaceDriver]:
+        return self.backend.drivers
 
-    def _try_submit(self, op, compute, cookie=None
-                    ) -> Optional[Tuple[QatRequest, int]]:
-        """Round-robin submission across instances; tries every
-        instance whose breaker admits traffic before reporting
-        ring-full. Returns ``(request, driver_idx)`` or None."""
-        n = len(self.drivers)
-        for i in range(n):
-            idx = (self._rr + i) % n
-            breaker = self.breakers[idx]
-            if not breaker.allow():
-                continue
-            request = self.drivers[idx].try_submit(op, compute,
-                                                   cookie=cookie)
-            if request is not None:
-                self._rr = (idx + 1) % n
-                return request, idx
-            # Ring-full is backpressure, not ill health: release the
-            # half-open probe slot (if one was claimed) unconsumed.
-            breaker.cancel_probe()
-        return None
-
-    def _any_instance_available(self) -> bool:
-        """Non-mutating: could a submission be admitted right now (or
-        as soon as ring space frees up)?"""
-        return any(b.available() for b in self.breakers)
-
-    def submit_backoff(self, attempts: int) -> float:
-        """Exponential backoff before retry number ``attempts + 1``."""
-        return min(self.busy_poll_slice * (2 ** max(attempts - 1, 0)),
-                   128 * self.busy_poll_slice)
-
-    def _poll_all(self, max_responses=None) -> List:
-        responses: List = []
-        for drv in self.drivers:
-            budget = (None if max_responses is None
-                      else max_responses - len(responses))
-            if budget == 0:
-                break
-            responses.extend(drv.poll(budget))
-        return responses
-
-    # -- software fallback ----------------------------------------------------
-
-    def _execute_software(self, call: CryptoCall, owner: object
-                          ) -> Generator:
-        cost = self.cost_model.software_cost(call.op)
-        yield from self.core.consume(cost, owner=owner)
-        self.ops_software += 1
-        self.software_crypto_time += cost
-        return call.compute()
-
-    def execute_fallback(self, call: CryptoCall, owner: object
-                         ) -> Generator:
-        """Complete ``call`` on the CPU because the accelerator path is
-        degraded (exhausted submit retries / open breakers)."""
-        self.ops_fallback += 1
-        return (yield from self._execute_software(call, owner))
-
-    def _offload_failed(self, call: CryptoCall, owner: object,
-                        exc: BaseException,
-                        driver_idx: Optional[int] = None) -> Generator:
-        """Offload attempt gave up: degrade to software, or raise the
-        typed error when fallback is disabled."""
-        if not self.software_fallback:
-            raise exc
-        self.ops_fallback += 1
-        if driver_idx is not None:
-            self.drivers[driver_idx].fallback_ops += 1
-        return (yield from self._execute_software(call, owner))
-
-    # -- straight (blocking) offload -------------------------------------------
-
-    def execute_blocking(self, call: CryptoCall, owner: object
-                         ) -> Generator:
-        """QAT+S: submit, then spin on the worker's core until the
-        response lands. The core does no other work meanwhile — the
-        blocking the paper's Figure 3 illustrates.
-
-        Submit retries are bounded (exponential backoff up to
-        ``submit_max_retries``) and the response wait is bounded by
-        ``request_deadline``; either bound exhausted degrades the op to
-        the software path (or raises :class:`OffloadTimeout`)."""
-        if not self.offloads(call):
-            return (yield from self._execute_software(call, owner))
-        yield from self.core.consume(SUBMIT_CPU_COST, owner=owner)
-        self.submit_time += SUBMIT_CPU_COST
-        submitted = self._try_submit(call.op, call.compute)
-        attempts = 1
-        while submitted is None:
-            if (attempts >= self.submit_max_retries
-                    or not self._any_instance_available()):
-                return (yield from self._offload_failed(
-                    call, owner,
-                    OffloadTimeout(
-                        f"submit of {call.op.kind.name} still rejected "
-                        f"after {attempts} attempts")))
-            delay = self.submit_backoff(attempts)
-            yield from self.core.consume(delay, owner=owner)
-            self.blocking_wait_time += delay
-            attempts += 1
-            submitted = self._try_submit(call.op, call.compute)
-        request, drv_idx = submitted
-        self.inflight.increment(call.op.category)
-        self.ops_offloaded += 1
-        wait_started = self.core.sim.now
-        deadline = wait_started + self.request_deadline
-        resp = None
-        while resp is None:
-            responses = self._poll_all()
-            yield from self.core.consume(
-                self.driver.poll_cpu_cost(len(responses)), owner=owner)
-            for candidate in responses:
-                if candidate.request is request:
-                    resp = candidate
-                else:
-                    # A late response to an op that already timed out.
-                    self.responses_stale += 1
-            if resp is not None:
-                break
-            if self.core.sim.now >= deadline:
-                self.blocking_wait_time += self.core.sim.now - wait_started
-                self.inflight.decrement(call.op.category)
-                self.op_timeouts += 1
-                self.drivers[drv_idx].op_timeouts += 1
-                self.breakers[drv_idx].record_failure()
-                return (yield from self._offload_failed(
-                    call, owner,
-                    OffloadTimeout(
-                        f"{call.op.kind.name} response missed its "
-                        f"{self.request_deadline * 1e3:.1f}ms deadline"),
-                    driver_idx=drv_idx))
-            yield from self.core.consume(self.busy_poll_slice, owner=owner)
-        self.blocking_wait_time += self.core.sim.now - wait_started
-        self.inflight.decrement(call.op.category)
-        if isinstance(resp.error, QatHardwareError):
-            self.responses_corrupted += 1
-            self.breakers[drv_idx].record_failure()
-            return (yield from self._offload_failed(call, owner, resp.error,
-                                                    driver_idx=drv_idx))
-        self.breakers[drv_idx].record_success()
-        if resp.error is not None:
-            raise resp.error
-        return resp.result
-
-    # -- asynchronous offload ----------------------------------------------------
-
-    def submit_async(self, call: CryptoCall, job: object, owner: object
-                     ) -> Generator:
-        """Submit without waiting; the response resumes ``job`` later.
-
-        Returns True on success, False when the request ring is full
-        (the offload job must pause in retry state — section 3.2).
-        Accepted requests enter the in-flight table with a deadline;
-        failed submissions bump ``job.submit_attempts`` so the caller
-        can bound its retry loop via :meth:`should_retry_submit`.
-        """
-        if not self.offloads(call):
-            raise ValueError(
-                f"submit_async on non-offloadable op {call.op.kind}")
-        yield from self.core.consume(SUBMIT_CPU_COST, owner=owner)
-        self.submit_time += SUBMIT_CPU_COST
-        submitted = self._try_submit(call.op, call.compute, cookie=job)
-        if submitted is None:
-            job.submit_attempts = getattr(job, "submit_attempts", 0) + 1
-            return False
-        request, drv_idx = submitted
-        now = self.core.sim.now
-        self._pending[request] = PendingOp(
-            call=call, job=job, driver_idx=drv_idx, submitted_at=now,
-            deadline=now + self.request_deadline)
-        job.submit_attempts = 0
-        self.inflight.increment(call.op.category)
-        self.ops_offloaded += 1
-        return True
-
-    def should_retry_submit(self, job: object) -> bool:
-        """After a False :meth:`submit_async`: keep retrying (pause in
-        WANT_RETRY), or give up and degrade to software? Gives up once
-        the retry budget is spent or no instance can admit traffic."""
-        if getattr(job, "submit_attempts", 0) >= self.submit_max_retries:
-            return False
-        return self._any_instance_available()
-
-    def is_pending(self, job: object) -> bool:
-        """Is an accepted request for ``job`` still in flight?"""
-        return any(p.job is job for p in self._pending.values())
-
-    def poll_and_dispatch(self, owner: object,
-                          max_responses: Optional[int] = None
-                          ) -> Generator:
-        """One polling operation: retrieve responses, settle them
-        against the in-flight table, and fire each job's registered
-        notification (async-queue callback or notification FD).
-
-        Stale responses (no table entry — the op already timed out and
-        failed over) are dropped. Corrupted responses degrade to the
-        software path and still resume the job with a good result.
-
-        Returns the list of jobs whose responses were delivered.
-        """
-        responses = self._poll_all(max_responses)
-        poll_cost = self.driver.poll_cpu_cost(len(responses))
-        self.poll_time += poll_cost
-        yield from self.core.consume(poll_cost, owner=owner)
-        jobs: List[object] = []
-        for resp in responses:
-            pending = self._pending.pop(resp.request, None)
-            if pending is None:
-                self.responses_stale += 1
-                continue
-            self.inflight.decrement(resp.request.op.category)
-            job = pending.job
-            breaker = self.breakers[pending.driver_idx]
-            if isinstance(resp.error, QatHardwareError):
-                self.responses_corrupted += 1
-                breaker.record_failure()
-                yield from self._deliver_failure(pending, owner, resp.error)
-            else:
-                breaker.record_success()
-                job.deliver(resp.result, resp.error)
-                self.responses_dispatched += 1
-                yield from self._notify_job(job, owner)
-            jobs.append(job)
-        return jobs
-
-    def check_timeouts(self, owner: object) -> Generator:
-        """Expire in-flight requests past their deadline: count the
-        timeout against the owning instance's breaker and resume each
-        affected job through the software fallback (or deliver an
-        :class:`OffloadTimeout`). Returns the list of jobs resumed."""
-        now = self.core.sim.now
-        expired = [req for req, p in self._pending.items()
-                   if now >= p.deadline]
-        jobs: List[object] = []
-        for req in expired:
-            # Re-check: while this generator yields core time, the
-            # event loop can poll and settle entries from our snapshot.
-            pending = self._pending.pop(req, None)
-            if pending is None:
-                continue
-            self.inflight.decrement(pending.call.op.category)
-            self.op_timeouts += 1
-            self.drivers[pending.driver_idx].op_timeouts += 1
-            self.breakers[pending.driver_idx].record_failure()
-            job = pending.job
-            state = getattr(job, "state", None)
-            if state is not None and state.name != "PAUSED":
-                # Job already rescued/aborted elsewhere; the late
-                # response (if any) will be dropped as stale.
-                continue
-            exc = OffloadTimeout(
-                f"{pending.call.op.kind.name} response missed its "
-                f"{self.request_deadline * 1e3:.1f}ms deadline")
-            yield from self._deliver_failure(pending, owner, exc)
-            jobs.append(job)
-        return jobs
-
-    def fail_over_job(self, job: object, owner: object) -> Generator:
-        """Watchdog rescue for a paused job with *no* in-flight request
-        (e.g. its ring entry was wiped by an endpoint reset before the
-        engine ever saw a response): complete its pending call on the
-        CPU and resume it."""
-        call = getattr(job, "pending_call", None)
-        if call is None or getattr(job, "state", None) is None \
-                or job.state.name != "PAUSED":
-            return False
-        pending = PendingOp(call=call, job=job, driver_idx=-1,
-                            submitted_at=self.core.sim.now,
-                            deadline=self.core.sim.now)
-        exc = OffloadTimeout(
-            f"{call.op.kind.name} lost in flight (no pending entry)")
-        yield from self._deliver_failure(pending, owner, exc)
-        return True
-
-    # -- delivery helpers -------------------------------------------------------
-
-    def _deliver_failure(self, pending: PendingOp, owner: object,
-                         exc: BaseException) -> Generator:
-        """Resume a paused job whose offload failed: software-fallback
-        result when enabled, the error itself otherwise."""
-        job = pending.job
-        if self.software_fallback:
-            self.ops_fallback += 1
-            if pending.driver_idx >= 0:
-                self.drivers[pending.driver_idx].fallback_ops += 1
-            result = yield from self._execute_software(pending.call, owner)
-            job.deliver(result, None)
-        else:
-            job.deliver(None, exc)
-        yield from self._notify_job(job, owner)
-
-    def _notify_job(self, job: object, owner: object) -> Generator:
-        """The response callback (paper section 4.4): kernel-bypass
-        callback wins if set; otherwise the FD-based path."""
-        callback, arg = job.wait_ctx.get_callback()
-        if callback is not None:
-            yield from self.core.consume(
-                self.cost_model.async_queue_cost, owner=owner)
-            callback(arg)
-        elif job.wait_ctx.notify_fd is not None:
-            yield from self.core.kernel_crossing(
-                extra=NOTIFY_FD_WRITE_COST)
-            job.wait_ctx.notify_fd.write_event()
+    @property
+    def driver(self) -> QatUserspaceDriver:
+        """Primary instance's driver (compat/introspection)."""
+        return self.backend.drivers[0]

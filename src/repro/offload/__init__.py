@@ -1,0 +1,55 @@
+"""Pluggable offload backends behind a backend-agnostic async engine.
+
+The QTLS framework (deadlines, breakers, batching, failover, polling)
+lives in :class:`~repro.offload.engine.AsyncOffloadEngine`; concrete
+accelerators implement :class:`~repro.offload.backend.OffloadBackend`:
+
+- :class:`~repro.offload.qat_backend.QatBackend` — the on-board QAT
+  card (``repro.qat`` device model), one lane per crypto instance;
+- :class:`~repro.offload.remote.RemoteAcceleratorBackend` — a
+  network-attached crypto service reached over ``repro.net`` links.
+
+Attribute access is lazy (PEP 562) so low-level device modules can
+import :mod:`repro.offload.errors` without dragging in the engine
+stack (and its transitive deps) during their own import.
+"""
+
+from __future__ import annotations
+
+from .errors import OffloadTimeout, RingFull, SubmitError
+
+__all__ = [
+    "SubmitError", "RingFull", "OffloadTimeout",
+    "OpSpec", "Completion", "LaneStats", "OffloadBackend",
+    "PendingOp", "CircuitBreaker", "InflightCounters",
+    "AsyncOffloadEngine", "ALGORITHM_GROUPS",
+    "QatBackend", "RemoteAcceleratorBackend", "RemoteCryptoService",
+]
+
+_LAZY = {
+    "OpSpec": "backend",
+    "Completion": "backend",
+    "LaneStats": "backend",
+    "OffloadBackend": "backend",
+    "PendingOp": "health",
+    "CircuitBreaker": "health",
+    "InflightCounters": "inflight",
+    "AsyncOffloadEngine": "engine",
+    "ALGORITHM_GROUPS": "engine",
+    "QatBackend": "qat_backend",
+    "RemoteAcceleratorBackend": "remote",
+    "RemoteCryptoService": "remote",
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    from importlib import import_module
+    module = import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

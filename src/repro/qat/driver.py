@@ -15,11 +15,16 @@ from ..crypto.ops import CryptoOp
 from .instance import CryptoInstance
 from .request import QatRequest, QatResponse
 
-__all__ = ["QatUserspaceDriver", "SUBMIT_CPU_COST", "POLL_CPU_COST",
+__all__ = ["QatUserspaceDriver", "SUBMIT_CPU_COST",
+           "SUBMIT_COALESCED_CPU_COST", "POLL_CPU_COST",
            "POLL_PER_RESPONSE_CPU_COST"]
 
 #: CPU cost of writing one request descriptor onto a ring.
 SUBMIT_CPU_COST = 1.2e-6
+#: CPU cost of each *additional* descriptor coalesced into the same
+#: ring write: the doorbell/MMIO part of SUBMIT_CPU_COST is paid once
+#: per batch, only the descriptor copy repeats.
+SUBMIT_COALESCED_CPU_COST = 0.35e-6
 #: CPU cost of one polling operation (checking the response rings).
 POLL_CPU_COST = 0.6e-6
 #: Additional CPU cost per retrieved response (descriptor handling).
@@ -64,6 +69,14 @@ class QatUserspaceDriver:
             self.empty_polls += 1
         self.responses_retrieved += len(responses)
         return responses
+
+    def submit_cpu_cost(self, n_requests: int) -> float:
+        """CPU time the caller must charge for submitting
+        ``n_requests`` descriptors in one coalesced ring write."""
+        if n_requests < 1:
+            return 0.0
+        return (SUBMIT_CPU_COST
+                + SUBMIT_COALESCED_CPU_COST * (n_requests - 1))
 
     def poll_cpu_cost(self, n_responses: int) -> float:
         """CPU time the caller must charge for a poll that returned

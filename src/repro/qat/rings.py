@@ -5,6 +5,10 @@ from a response ring (paper section 2.3, Figure 2). Request rings have
 finite capacity: a full ring fails the submission, which QTLS handles
 with pause-and-retry (paper section 3.2 "a special case is the failure
 of crypto submission").
+
+Ring-full is signalled by ``try_submit`` returning False; callers that
+want to raise use the canonical :class:`~repro.offload.errors.RingFull`
+re-exported here.
 """
 
 from __future__ import annotations
@@ -12,12 +16,13 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Deque, List, Optional
 
+from ..offload.errors import RingFull
 from .request import QatRequest, QatResponse
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.kernel import Simulator
 
-__all__ = ["RingPair", "DEFAULT_RING_CAPACITY"]
+__all__ = ["RingPair", "RingFull", "DEFAULT_RING_CAPACITY"]
 
 DEFAULT_RING_CAPACITY = 64
 

@@ -142,6 +142,8 @@ def _parse_ssl_engine(block: Block) -> SslEngineConfig:
     for directive, value in block.items():
         if directive == "use":
             engine.use_engine = _one(value, directive)
+        elif directive == "offload_backend":
+            engine.offload_backend = _one(value, directive)
         elif directive == "default_algorithm":
             engine.default_algorithm = tuple(
                 a for a in _one(value, directive).split(",") if a)
@@ -149,9 +151,31 @@ def _parse_ssl_engine(block: Block) -> SslEngineConfig:
             if not isinstance(value, dict):
                 raise ConfError("qat_engine must be a block")
             _parse_qat_engine(value, engine)
+        elif directive == "remote_accelerator":
+            if not isinstance(value, dict):
+                raise ConfError("remote_accelerator must be a block")
+            _parse_remote_accelerator(value, engine)
         else:
             raise ConfError(f"unknown ssl_engine directive {directive!r}")
     return engine
+
+
+def _parse_remote_accelerator(block: Block,
+                              engine: SslEngineConfig) -> None:
+    for directive, value in block.items():
+        if directive == "processors":
+            engine.remote_processors = int(_one(value, directive))
+        elif directive == "window":
+            engine.remote_window = int(_one(value, directive))
+        elif directive == "link_latency":
+            engine.remote_link_latency = float(_one(value, directive))
+        elif directive == "link_bandwidth":
+            engine.remote_link_bandwidth = float(_one(value, directive))
+        elif directive == "service_scale":
+            engine.remote_service_scale = float(_one(value, directive))
+        else:
+            raise ConfError(
+                f"unknown remote_accelerator directive {directive!r}")
 
 
 def _parse_qat_engine(block: Block, engine: SslEngineConfig) -> None:
@@ -187,5 +211,9 @@ def _parse_qat_engine(block: Block, engine: SslEngineConfig) -> None:
         elif directive == "qat_software_fallback":
             engine.qat_software_fallback = (
                 _one(value, directive) not in ("off", "0", "false"))
+        elif directive == "qat_batch_size":
+            engine.qat_batch_size = int(_one(value, directive))
+        elif directive == "qat_batch_timeout":
+            engine.qat_batch_timeout = float(_one(value, directive))
         else:
             raise ConfError(f"unknown qat_engine directive {directive!r}")

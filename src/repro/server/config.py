@@ -17,6 +17,10 @@ class SslEngineConfig:
     """The ``ssl_engine { qat_engine { ... } }`` block."""
 
     use_engine: str = "qat_engine"                # or "" for software
+    #: Which accelerator sits behind the engine: "qat" (the on-board
+    #: card), "remote" (network-attached crypto service) or "software"
+    #: (engine enabled but every op runs on the CPU).
+    offload_backend: str = "qat"
     default_algorithm: Tuple[str, ...] = ("RSA", "EC", "PKEY_CRYPTO",
                                           "CIPHER")
     #: "sync" = straight offload; "async" = the QTLS framework.
@@ -48,10 +52,46 @@ class SslEngineConfig:
     #: Complete failed/expired offload ops on the CPU instead of
     #: surfacing OffloadTimeout to the TLS layer.
     qat_software_fallback: bool = True
+    #: Submission batching: coalesce up to this many queued ops into
+    #: one backend submit call (1 = no batching, the paper's behavior).
+    qat_batch_size: int = 1
+    #: Flush an under-filled batch this long after its oldest op was
+    #: enqueued, so latency-sensitive handshakes never stall.
+    qat_batch_timeout: float = 50e-6
+    #: Remote-accelerator backend (offload_backend "remote"): service
+    #: processor pool, per-worker credit window, link characteristics
+    #: and a scale factor on the QAT-calibrated service times.
+    remote_processors: int = 8
+    remote_window: int = 256
+    remote_link_latency: float = 20e-6
+    remote_link_bandwidth: float = 25e9
+    remote_service_scale: float = 1.0
 
     def validate(self) -> None:
         if self.use_engine not in ("", "qat_engine"):
             raise ValueError(f"unknown engine {self.use_engine!r}")
+        if self.offload_backend not in ("qat", "remote", "software"):
+            raise ValueError(
+                f"unknown offload backend {self.offload_backend!r}")
+        if (self.offload_backend == "remote"
+                and self.qat_notify_mode == "interrupt"):
+            raise ValueError(
+                "interrupt notify mode requires the qat backend "
+                "(a remote service has no local IRQ line)")
+        if self.qat_batch_size < 1:
+            raise ValueError("batch size must be >= 1")
+        if self.qat_batch_timeout <= 0:
+            raise ValueError("batch timeout must be positive")
+        if self.remote_processors < 1:
+            raise ValueError("need at least one remote processor")
+        if self.remote_window < 1:
+            raise ValueError("remote credit window must be >= 1")
+        if self.remote_link_latency < 0:
+            raise ValueError("remote link latency must be >= 0")
+        if self.remote_link_bandwidth <= 0:
+            raise ValueError("remote link bandwidth must be positive")
+        if self.remote_service_scale <= 0:
+            raise ValueError("remote service scale must be positive")
         if self.qat_offload_mode not in ("sync", "async"):
             raise ValueError(
                 f"unknown offload mode {self.qat_offload_mode!r}")
@@ -119,9 +159,24 @@ class ServerConfig:
         self.ssl_engine.validate()
 
     @property
+    def uses_offload(self) -> bool:
+        """An accelerator-backed engine is configured (any backend)."""
+        return (self.ssl_engine.use_engine == "qat_engine"
+                and self.ssl_engine.offload_backend != "software")
+
+    @property
     def uses_qat(self) -> bool:
-        return self.ssl_engine.use_engine == "qat_engine"
+        """The engine is backed by the on-board QAT card specifically
+        (allocates instances, supports the interrupt notify mode)."""
+        return (self.uses_offload
+                and self.ssl_engine.offload_backend == "qat")
+
+    @property
+    def uses_remote(self) -> bool:
+        return (self.uses_offload
+                and self.ssl_engine.offload_backend == "remote")
 
     @property
     def async_offload(self) -> bool:
-        return self.uses_qat and self.ssl_engine.qat_offload_mode == "async"
+        return (self.uses_offload
+                and self.ssl_engine.qat_offload_mode == "async")

@@ -12,7 +12,10 @@ from ..cpu.core import CpuTopology
 from ..crypto.provider import CryptoProvider
 from ..engine.qat_engine import QatEngine
 from ..engine.software import SoftwareEngine
+from ..net.link import Link
 from ..net.network import Network
+from ..offload.engine import AsyncOffloadEngine
+from ..offload.remote import RemoteAcceleratorBackend, RemoteCryptoService
 from ..qat.device import QatDevice
 from ..qat.driver import QatUserspaceDriver
 from ..sim.rng import RngRegistry
@@ -85,6 +88,26 @@ class TlsServer:
         else:
             instances = [None] * config.worker_processes
 
+        # One shared network-attached crypto service per deployment
+        # (offload_backend "remote"): all workers' RPC batches funnel
+        # through one NIC-pair of links into one processor pool.
+        self.remote_service: Optional[RemoteCryptoService] = None
+        self._remote_tx: Optional[Link] = None
+        self._remote_rx: Optional[Link] = None
+        if config.uses_remote:
+            eng_cfg = config.ssl_engine
+            self.remote_service = RemoteCryptoService(
+                sim, n_processors=eng_cfg.remote_processors,
+                service_scale=eng_cfg.remote_service_scale)
+            self._remote_tx = Link(
+                sim, latency=eng_cfg.remote_link_latency,
+                bandwidth_bps=eng_cfg.remote_link_bandwidth,
+                name="server->accel")
+            self._remote_rx = Link(
+                sim, latency=eng_cfg.remote_link_latency,
+                bandwidth_bps=eng_cfg.remote_link_bandwidth,
+                name="accel->server")
+
         self.workers: List[Worker] = []
         for i in range(config.worker_processes):
             listener = net.bind(self.listen_addr(i))
@@ -102,20 +125,30 @@ class TlsServer:
                     issue_tickets=config.session_tickets,
                     ticket_keeper=self.ticket_keeper,
                     clock=lambda: sim.now)
+                eng_cfg = config.ssl_engine
+                engine_kw = dict(
+                    algorithms=eng_cfg.default_algorithm,
+                    request_deadline=eng_cfg.qat_request_deadline,
+                    submit_max_retries=eng_cfg.qat_submit_max_retries,
+                    breaker_failure_threshold=(
+                        eng_cfg.qat_breaker_failure_threshold),
+                    breaker_reset_timeout=(
+                        eng_cfg.qat_breaker_reset_timeout),
+                    software_fallback=eng_cfg.qat_software_fallback,
+                    batch_size=eng_cfg.qat_batch_size,
+                    batch_timeout=eng_cfg.qat_batch_timeout)
                 if config.uses_qat:
                     drivers = [QatUserspaceDriver(inst)
                                for inst in instance]
-                    eng_cfg = config.ssl_engine
-                    engine = QatEngine(
-                        drivers, core, self.cost_model,
-                        algorithms=eng_cfg.default_algorithm,
-                        request_deadline=eng_cfg.qat_request_deadline,
-                        submit_max_retries=eng_cfg.qat_submit_max_retries,
-                        breaker_failure_threshold=(
-                            eng_cfg.qat_breaker_failure_threshold),
-                        breaker_reset_timeout=(
-                            eng_cfg.qat_breaker_reset_timeout),
-                        software_fallback=eng_cfg.qat_software_fallback)
+                    engine = QatEngine(drivers, core, self.cost_model,
+                                       **engine_kw)
+                elif config.uses_remote:
+                    backend = RemoteAcceleratorBackend(
+                        sim, self.remote_service,
+                        tx_link=self._remote_tx, rx_link=self._remote_rx,
+                        window=eng_cfg.remote_window)
+                    engine = AsyncOffloadEngine(
+                        backend, core, self.cost_model, **engine_kw)
                 else:
                     engine = SoftwareEngine(core, self.cost_model)
                 async_mode = (config.async_impl if config.async_offload

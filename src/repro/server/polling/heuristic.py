@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Generator
 
-from ...engine.qat_engine import QatEngine
+from ...offload.engine import AsyncOffloadEngine
 from ..stub_status import StubStatus
 
 __all__ = ["HeuristicPoller"]
@@ -26,7 +26,8 @@ __all__ = ["HeuristicPoller"]
 class HeuristicPoller:
     """Application-integrated response retrieval."""
 
-    def __init__(self, engine: QatEngine, stub_status: StubStatus,
+    def __init__(self, engine: AsyncOffloadEngine,
+                 stub_status: StubStatus,
                  asym_threshold: int = 48, sym_threshold: int = 24) -> None:
         if asym_threshold < 1 or sym_threshold < 1:
             raise ValueError("thresholds must be >= 1")
@@ -66,6 +67,10 @@ class HeuristicPoller:
             self.efficiency_polls += 1
         else:
             self.timeliness_polls += 1
+            # Stall imminent: every active connection is waiting on
+            # the accelerator. Push coalescing submissions out now —
+            # batching them further would only idle the core.
+            yield from self.engine.flush_batch(owner)
         self.polls += 1
         jobs = yield from self.engine.poll_and_dispatch(owner)
         return jobs

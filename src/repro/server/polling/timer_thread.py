@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from ...engine.qat_engine import QatEngine
+from ...offload.engine import AsyncOffloadEngine
 
 if TYPE_CHECKING:  # pragma: no cover
     from ...sim.kernel import Simulator
@@ -23,7 +23,7 @@ __all__ = ["TimerPollingThread"]
 class TimerPollingThread:
     """Polls the engine every ``interval`` seconds on the worker's core."""
 
-    def __init__(self, sim: "Simulator", engine: QatEngine,
+    def __init__(self, sim: "Simulator", engine: AsyncOffloadEngine,
                  interval: float = 10e-6, name: str = "poller",
                  wake=None) -> None:
         if interval <= 0:

@@ -28,6 +28,11 @@ class StubStatus:
         self.open_breakers = 0
         self.submit_failures = 0
         self.watchdog_rescues = 0
+        # Offload-backend section: which backend serves this worker
+        # and its submission-batching stats.
+        self.backend = ""
+        self.batches_submitted = 0
+        self.batch_ops = 0
 
     # -- lifecycle hooks -------------------------------------------------
 
@@ -68,12 +73,23 @@ class StubStatus:
     # -- degradation reporting ------------------------------------------------
 
     def update_degradation(self, *, fallback_ops: int, op_timeouts: int,
-                           open_breakers: int, submit_failures: int) -> None:
+                           open_breakers: int, submit_failures: int,
+                           backend: str = "", batches_submitted: int = 0,
+                           batch_ops: int = 0) -> None:
         """Refresh the offload-health counters (worker watchdog)."""
         self.fallback_ops = fallback_ops
         self.op_timeouts = op_timeouts
         self.open_breakers = open_breakers
         self.submit_failures = submit_failures
+        if backend:
+            self.backend = backend
+        self.batches_submitted = batches_submitted
+        self.batch_ops = batch_ops
+
+    @property
+    def mean_batch_size(self) -> float:
+        return (self.batch_ops / self.batches_submitted
+                if self.batches_submitted else 0.0)
 
     @property
     def degraded(self) -> bool:
@@ -89,6 +105,9 @@ class StubStatus:
             f"TLS alive: {self.tls_alive} idle: {self.tls_idle} "
             f"active: {self.tls_active}\n"
             f"accepted: {self.total_accepted} closed: {self.total_closed}\n"
+            f"offload backend: {self.backend or 'none'} "
+            f"batches {self.batches_submitted} "
+            f"mean_batch {self.mean_batch_size:.2f}\n"
             f"offload degradation: fallback_ops {self.fallback_ops} "
             f"op_timeouts {self.op_timeouts} "
             f"open_breakers {self.open_breakers} "

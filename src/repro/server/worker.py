@@ -27,7 +27,7 @@ from typing import Deque, Dict, Generator, List, Optional
 
 from ..core.costmodel import CostModel
 from ..cpu.core import Core
-from ..engine.qat_engine import QatEngine
+from ..offload.engine import AsyncOffloadEngine
 from ..net.epoll_sim import (EPOLL_CTL_COST, NOTIFY_FD_READ_COST, Epoll,
                              NotifyFd)
 from ..net.network import Listener
@@ -101,8 +101,12 @@ class Worker:
         #: are dispatched OUTSIDE the loop (timer thread / interrupts)
         #: while queue-mode notifications would otherwise sit unseen.
         self.wake_fd: Optional[NotifyFd] = None
+        #: Submission batching active: flush the engine's coalescing
+        #: queue at the end of every event-loop pass.
+        self._batching = False
         eng_cfg = config.ssl_engine
-        if config.async_offload and isinstance(self.engine, QatEngine):
+        if config.async_offload and isinstance(self.engine, AsyncOffloadEngine):
+            self._batching = self.engine.batch_size > 1
             out_of_loop = (eng_cfg.qat_notify_mode == "interrupt"
                            or eng_cfg.qat_poll_mode == "timer"
                            # The watchdog also dispatches outside the
@@ -140,7 +144,7 @@ class Worker:
                 self.config.ssl_engine.qat_failover_timer > 0:
             self.sim.process(self._failover_loop(),
                              name=f"w{self.worker_id}-failover")
-        if (self.config.async_offload and isinstance(self.engine, QatEngine)
+        if (self.config.async_offload and isinstance(self.engine, AsyncOffloadEngine)
                 and self.config.ssl_engine.qat_watchdog_interval > 0):
             self.sim.process(self._watchdog_loop(),
                              name=f"w{self.worker_id}-watchdog")
@@ -175,6 +179,12 @@ class Worker:
             yield from self._drain_async_queue()
             yield from self._process_retries()
             yield from self._heuristic_check()
+            # End-of-pass batch flush: ops the handlers above coalesced
+            # this pass go out in one doorbell/RPC. Submissions never
+            # wait past the current loop pass, so batching adds no
+            # cross-pass latency.
+            if (self._batching and self.engine.queued_batch_ops):
+                yield from self.engine.flush_batch(owner=self)
 
     def _loop_timeout(self) -> Optional[float]:
         if self.async_queue:
@@ -248,13 +258,16 @@ class Worker:
     def _refresh_degradation(self) -> None:
         """Publish offload-health counters on the stub_status page."""
         eng = self.engine
-        if not isinstance(eng, QatEngine):
+        if not isinstance(eng, AsyncOffloadEngine):
             return
         self.stub_status.update_degradation(
             fallback_ops=eng.ops_fallback,
             op_timeouts=eng.op_timeouts,
             open_breakers=eng.open_breakers,
-            submit_failures=sum(d.submit_failures for d in eng.drivers))
+            submit_failures=eng.submit_failures,
+            backend=eng.backend.name,
+            batches_submitted=eng.batches_submitted,
+            batch_ops=eng.batch_ops)
 
     # -- accept path -----------------------------------------------------------------
 
@@ -390,7 +403,7 @@ class Worker:
         if status is SslStatus.WANT_RETRY:
             yield from self._setup_async(conn, handler)
             job = conn.ssl.job
-            if job is not None and isinstance(self.engine, QatEngine):
+            if job is not None and isinstance(self.engine, AsyncOffloadEngine):
                 # Back off exponentially under ring-full storms instead
                 # of spinning the loop at timeout 0.
                 conn.retry_not_before = (

@@ -15,7 +15,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Generator, List, Optional
 
-from ..engine.qat_engine import QatEngine
+from ..offload.engine import AsyncOffloadEngine
 from ..tls.actions import (CryptoCall, HandshakeResult, NeedMessage,
                            SendMessage)
 from ..tls.record import RecordLayer, TlsRecord
@@ -184,7 +184,7 @@ class SslConnection:
 
             action = payload
             if isinstance(action, CryptoCall):
-                if (use_async and isinstance(engine, QatEngine)
+                if (use_async and isinstance(engine, AsyncOffloadEngine)
                         and engine.offloads(action)):
                     ok = yield from engine.submit_async(action, job, owner)
                     if ok:

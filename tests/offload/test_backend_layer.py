@@ -1,0 +1,241 @@
+"""Offload-backend seam tests: error types, the QAT adapter, and the
+engine's submission batching (coalescing, flush triggers, flow
+control, failover of queued ops)."""
+
+import pytest
+
+from repro.core.costmodel import CostModel
+from repro.cpu import Core
+from repro.crypto.ops import CryptoOp, CryptoOpKind, OpCategory
+from repro.engine.qat_engine import QatEngine
+from repro.qat import QatDevice, QatUserspaceDriver
+from repro.sim import Simulator
+from repro.ssl.async_job import FiberAsyncJob
+
+
+def rsa_call(result="sig"):
+    from repro.tls.actions import CryptoCall
+    return CryptoCall(CryptoOp(CryptoOpKind.RSA_PRIV, rsa_bits=2048),
+                      compute=lambda: result)
+
+
+def _job():
+    return FiberAsyncJob(lambda: iter(()), kind="handshake")
+
+
+def make_env(n_instances=1, ring_capacity=64, **engine_kw):
+    sim = Simulator()
+    core = Core(sim, 0)
+    dev = QatDevice(sim, n_endpoints=max(1, n_instances),
+                    ring_capacity=ring_capacity)
+    drivers = [QatUserspaceDriver(inst)
+               for inst in dev.allocate_instances(n_instances)]
+    eng = QatEngine(drivers, core, CostModel(), **engine_kw)
+    return sim, core, eng
+
+
+# -- error types ---------------------------------------------------------------
+
+def test_ring_full_is_one_type_across_layers():
+    from repro.engine import qat_engine
+    from repro.offload import errors
+    from repro.qat import rings
+    import repro.offload as offload
+    assert (rings.RingFull is errors.RingFull is qat_engine.RingFull
+            is offload.RingFull)
+    assert issubclass(errors.RingFull, errors.SubmitError)
+
+
+# -- QAT backend adapter ----------------------------------------------------------
+
+def test_qat_backend_needs_a_driver():
+    from repro.offload.qat_backend import QatBackend
+    with pytest.raises(ValueError, match="at least one driver"):
+        QatBackend([])
+
+
+def test_poll_rotation_is_starvation_free():
+    """A bounded poll budget must not always drain instance 0 first."""
+    sim, core, eng = make_env(n_instances=2)
+    seen = []
+
+    def proc(sim):
+        for lane in (0, 1):
+            job = _job()
+            job.mark_paused(rsa_call(f"r{lane}"))
+            yield from eng.submit_async(rsa_call(f"r{lane}"), job,
+                                        owner="w")
+        yield sim.timeout(5e-3)  # both responses landed
+        for _ in range(2):
+            for c in eng.backend.poll_completions(max_responses=1):
+                seen.append(c.result)
+
+    sim.process(proc(sim))
+    sim.run()
+    # Round-robin submission put one op on each lane; the rotating
+    # poll start retrieves one per budget-1 poll, from both lanes.
+    assert sorted(seen) == ["r0", "r1"]
+
+
+def test_capacity_hint_is_lane_and_category_aware():
+    sim, core, eng = make_env(ring_capacity=8)
+    backend = eng.backend
+    cap = backend.capacity_hint(lane=0, category=OpCategory.ASYM)
+    assert cap == 8
+
+    def proc(sim):
+        job = _job()
+        job.mark_paused(rsa_call())
+        yield from eng.submit_async(rsa_call(), job, owner="w")
+
+    sim.process(proc(sim))
+    sim.run(until=1e-4)
+    assert backend.capacity_hint(lane=0, category=OpCategory.ASYM) == 7
+    assert backend.capacity_hint(lane=0, category=OpCategory.CIPHER) == 8
+    # The unrestricted hint sums every ring.
+    assert backend.capacity_hint() > 8
+
+
+def test_coalesced_submit_cost_amortizes_doorbell():
+    sim, core, eng = make_env()
+    one = eng.backend.submit_cpu_cost(1)
+    four = eng.backend.submit_cpu_cost(4)
+    assert four < 4 * one
+    assert four > one
+
+
+# -- submission batching -------------------------------------------------------------
+
+def test_batch_flushes_when_full():
+    sim, core, eng = make_env(batch_size=4)
+    jobs = [_job() for _ in range(4)]
+
+    def proc(sim):
+        for i, job in enumerate(jobs):
+            job.mark_paused(rsa_call(f"r{i}"))
+            ok = yield from eng.submit_async(rsa_call(f"r{i}"), job,
+                                             owner="w")
+            assert ok
+            if i < 3:  # still coalescing
+                assert eng.driver.submitted == 0
+                assert eng.queued_batch_ops == i + 1
+
+    sim.process(proc(sim))
+    sim.run(until=1e-4)
+    assert eng.driver.submitted == 4
+    assert eng.queued_batch_ops == 0
+    assert eng.batches_submitted == 1
+    assert eng.batch_ops == 4
+    assert eng.mean_batch_size == 4.0
+    assert eng.inflight.total == 4  # queued ops stayed accounted
+
+
+def test_partial_batch_flushes_on_timeout():
+    sim, core, eng = make_env(batch_size=8, batch_timeout=50e-6)
+    job = _job()
+
+    def proc(sim):
+        job.mark_paused(rsa_call())
+        yield from eng.submit_async(rsa_call(), job, owner="w")
+        assert eng.driver.submitted == 0  # parked in the queue
+
+    sim.process(proc(sim))
+    sim.run(until=40e-6)
+    assert eng.driver.submitted == 0
+    sim.run(until=5e-3)  # past batch_timeout: the flush timer fired
+    assert eng.driver.submitted == 1
+    assert eng.batches_submitted == 1
+
+
+def test_flush_respects_ring_capacity():
+    """The flush never overshoots the ring: no submit failures even
+    when the batch exceeds the free slots."""
+    sim, core, eng = make_env(ring_capacity=2, batch_size=4,
+                              batch_timeout=20e-6)
+    jobs = [_job() for _ in range(4)]
+
+    def proc(sim):
+        for i, job in enumerate(jobs):
+            job.mark_paused(rsa_call(f"r{i}"))
+            yield from eng.submit_async(rsa_call(f"r{i}"), job, owner="w")
+        # Ring slots free on retrieval, so keep polling: the due-flush
+        # inside poll_and_dispatch drains the queue into freed slots.
+        while eng.inflight.total:
+            yield from eng.poll_and_dispatch(owner="w")
+            yield sim.timeout(100e-6)
+
+    sim.process(proc(sim))
+    sim.run(until=20e-3)
+    assert eng.driver.submit_failures == 0
+    assert eng.ops_offloaded == 4  # drained in capacity-sized chunks
+    assert eng.submit_failures == 0
+
+
+def test_is_pending_covers_queued_ops():
+    sim, core, eng = make_env(batch_size=8)
+    job = _job()
+
+    def proc(sim):
+        job.mark_paused(rsa_call())
+        yield from eng.submit_async(rsa_call(), job, owner="w")
+        assert eng.is_pending(job)  # queued, not yet submitted
+
+    sim.process(proc(sim))
+    sim.run(until=1e-5)
+    assert eng.is_pending(job)
+
+
+def test_queued_ops_fail_over_when_no_lane_admits():
+    """Breakers open + queue ops stuck -> software fallback delivery."""
+    sim, core, eng = make_env(batch_size=8, breaker_failure_threshold=1,
+                              breaker_reset_timeout=10.0)
+    eng.breakers[0].record_failure()  # opens the only lane's breaker
+    job = _job()
+
+    def proc(sim):
+        job.mark_paused(rsa_call("hw"))
+        yield from eng.submit_async(rsa_call("hw"), job, owner="w")
+
+    sim.process(proc(sim))
+    sim.run(until=50e-3)
+    assert eng.ops_fallback == 1
+    assert eng.inflight.total == 0
+    assert job.response_ready
+    value, exc = job.take_resume()
+    assert exc is None and value == "hw"  # software path, good result
+
+
+def test_batch_size_one_matches_legacy_submit():
+    sim, core, eng = make_env(batch_size=1)
+    job = _job()
+    out = {}
+
+    def proc(sim):
+        job.mark_paused(rsa_call())
+        out["ok"] = yield from eng.submit_async(rsa_call(), job, owner="w")
+
+    sim.process(proc(sim))
+    sim.run(until=1e-4)
+    assert out["ok"]
+    assert eng.driver.submitted == 1  # straight to the ring, no queue
+    assert eng.queued_batch_ops == 0
+    assert eng.batches_submitted == 1 and eng.batch_ops == 1
+
+
+# -- end-to-end ---------------------------------------------------------------
+
+def test_batched_testbed_run_replays_bit_for_bit():
+    from repro.bench.runner import Testbed, Windows
+
+    def run():
+        bed = Testbed("QTLS", workers=1, seed=7, qat_batch_size=4)
+        bed.add_s_time_fleet(n_clients=40)
+        bed.run_window(Windows(warmup=0.02, measure=0.04))
+        return bed
+
+    a, b = run(), run()
+    assert a.metrics.errors == 0
+    assert a.metrics.cps(0.02, 0.06) > 0
+    eng = a.server.workers[0].engine
+    assert eng.mean_batch_size > 1.0
+    assert a.metrics.handshakes == b.metrics.handshakes
