@@ -1,0 +1,32 @@
+"""Tracing overhead: repro.obs off vs sampled vs fully on.
+
+Runnable standalone for CI smoke checks::
+
+    PYTHONPATH=src python benchmarks/bench_trace_overhead.py --smoke
+
+exits non-zero if tracing perturbs the simulation, the export fails
+schema validation, or the traced wall-clock escapes its envelope.
+"""
+
+from repro.bench.experiments import run_trace_overhead
+
+
+def test_trace_overhead(run_experiment):
+    run_experiment(run_trace_overhead)
+
+
+if __name__ == "__main__":
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        description="request-lifecycle tracing overhead experiment")
+    parser.add_argument("--smoke", action="store_true",
+                        help="short windows (CI)")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    result = run_trace_overhead(quick=True, seed=args.seed,
+                                smoke=args.smoke)
+    print(result.render())
+    sys.exit(0 if result.all_checks_pass else 1)

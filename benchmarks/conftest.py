@@ -5,16 +5,36 @@ pytest-benchmark (one round — these are deterministic simulations, not
 microbenchmarks) and asserts the paper's shape claims.
 
 Set ``REPRO_BENCH_FULL=1`` for the full paper-size sweeps (slower).
+
+Shared helpers (environment builders, check assertions, seeds) live in
+:mod:`repro.testing` — the same source of truth ``tests/conftest.py``
+uses — so the two suites cannot drift apart again.
 """
 
 import os
 
+import numpy as np
 import pytest
+
+from repro.sim import RngRegistry
+from repro.testing import (TEST_REGISTRY_SEED, TEST_RNG_SEED,
+                           assert_checks)
 
 
 @pytest.fixture(scope="session")
 def quick() -> bool:
     return os.environ.get("REPRO_BENCH_FULL", "") != "1"
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Same deterministic RNG the unit-test suite uses."""
+    return np.random.default_rng(TEST_RNG_SEED)
+
+
+@pytest.fixture
+def registry() -> RngRegistry:
+    return RngRegistry(TEST_REGISTRY_SEED)
 
 
 @pytest.fixture
@@ -27,10 +47,7 @@ def run_experiment(benchmark, quick):
                                     rounds=1, iterations=1)
         print()
         print(result.render())
-        failed = [c for c in result.checks if not c["ok"]]
-        assert not failed, (
-            f"{result.exp_id}: shape checks failed: "
-            + "; ".join(c["claim"] for c in failed))
+        assert_checks(result)
         return result
 
     return _run

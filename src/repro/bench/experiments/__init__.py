@@ -8,6 +8,7 @@ from .backends import run as run_backends
 from .cycles import run as run_cycles
 from .ext_tls13_resumption import run as run_ext_tls13_resumption
 from .faults import run as run_faults
+from .trace_overhead import run as run_trace_overhead
 from .utilization import run as run_utilization
 from .fig7 import run_fig7a, run_fig7b, run_fig7c
 from .fig8 import run as run_fig8
@@ -41,6 +42,7 @@ ALL_EXPERIMENTS = {
     "ext-tls13-resumption": run_ext_tls13_resumption,
     "faults": run_faults,
     "backends": run_backends,
+    "trace_overhead": run_trace_overhead,
 }
 
 __all__ = ["ALL_EXPERIMENTS", "run_table1", "run_fig7a", "run_fig7b",

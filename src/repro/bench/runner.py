@@ -14,6 +14,7 @@ from ..core.costmodel import CostModel, default_cost_model
 from ..core.metrics import ClientMetrics
 from ..crypto.provider import CryptoProvider, ModeledCryptoProvider
 from ..net.network import Network
+from ..obs import RequestTracer
 from ..qat.device import dh8970
 from ..qat.faults import FaultPlan
 from ..server.master import TlsServer
@@ -60,9 +61,20 @@ class Testbed:
                  cost_model: Optional[CostModel] = None,
                  seed: int = 7,
                  fault_plan: Optional[Dict] = None,
+                 trace: bool = False,
+                 trace_sample_rate: float = 1.0,
                  **config_overrides) -> None:
         self.config_name = config_name
         self.sim = Simulator()
+        #: Request-lifecycle tracing (``repro.obs``): attach a tracer
+        #: before any server/client construction so every layer sees
+        #: the same ``sim.obs``. None when tracing is off — the
+        #: instrumentation then costs one attribute read per site.
+        self.tracer: Optional[RequestTracer] = None
+        if trace:
+            self.tracer = RequestTracer(enabled=True,
+                                        sample_rate=trace_sample_rate)
+            self.sim.obs = self.tracer
         self.rng = RngRegistry(seed)
         self.net = Network(self.sim)
         self.provider = provider or ModeledCryptoProvider()

@@ -1,0 +1,124 @@
+"""The span model: one crypto op = one span tree.
+
+A *trace* follows a single crypto operation through the offload
+critical path (paper Figs. 7-12 attribute CPS/latency differences to
+exactly these stages). The root span covers the whole op lifetime —
+from the moment the SSL driver decides to offload (``ssl/async_job``
+submission) to the moment the paused job resumes with the result — and
+the child *stage* spans partition the interesting interior:
+
+==============  ============================================================
+stage           interval
+==============  ============================================================
+``queue``       offload decision -> op parked (batched) or accepted
+                (unbatched; includes the WANT_RETRY submit-retry dance)
+``batch-wait``  coalescing-queue residence: enqueued -> flushed/accepted
+``ring``        accepted on the request ring / RPC channel -> pulled by a
+                device computation engine (or arrived at the remote
+                service)
+``engine-service``  device compute + response pipeline: pulled -> response
+                landed on the response ring / completion queue
+``poll-delay``  response landed -> retrieved by a poll and delivered to
+                the job (includes the poll CPU + dispatch)
+``resume``      delivered -> the worker event loop actually resumed the
+                paused job (async event notification + post-processing)
+==============  ============================================================
+
+Stage spans are consecutive, disjoint sub-intervals of the root span,
+so the well-formedness invariants (children nested within the root, no
+negative durations, stage durations summing to <= the root wall time)
+hold by construction whenever the recorded marks are monotone — which
+the tests in ``tests/obs`` verify against live runs.
+
+Timestamps are *simulated* seconds throughout: traces are part of the
+deterministic simulation output and replay bit-for-bit from the seed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["SpanStatus", "Span", "STAGES", "MARK_ORDER", "derive_spans"]
+
+
+class SpanStatus:
+    """Terminal status of an op trace (plain strings: JSON-friendly)."""
+
+    OPEN = "open"          # still in flight (not yet a terminal status)
+    OK = "ok"              # response delivered and job resumed normally
+    TIMEOUT = "timeout"    # deadline missed / lost op, degraded to SW
+    FAILOVER = "failover"  # transport-corrupted response or submit path
+    #                        exhausted; completed via software fallback
+    ERROR = "error"        # crypto-level failure delivered to the job
+    ABORTED = "aborted"    # connection torn down while the op was open
+
+    TERMINAL = (OK, TIMEOUT, FAILOVER, ERROR, ABORTED)
+
+
+#: Stage names in pipeline order.
+STAGES: Tuple[str, ...] = ("queue", "batch-wait", "ring", "engine-service",
+                           "poll-delay", "resume")
+
+#: Mark names in the order they may be recorded on a trace. ``created``
+#: and ``finished`` live on the trace itself; the rest are optional
+#: checkpoints (a timed-out op may never get past ``accepted``).
+MARK_ORDER: Tuple[str, ...] = ("enqueued", "accepted", "dequeued",
+                               "serviced", "landed", "delivered")
+
+
+class Span:
+    """One closed interval of a trace (root or stage)."""
+
+    __slots__ = ("name", "start", "end", "parent")
+
+    def __init__(self, name: str, start: float, end: float,
+                 parent: Optional[str] = None) -> None:
+        self.name = name
+        self.start = start
+        self.end = end
+        self.parent = parent
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Span {self.name} [{self.start:.9f}, {self.end:.9f}]"
+                f"{' <' + self.parent if self.parent else ''}>")
+
+
+#: (stage name, start mark, end mark). ``None`` start means the trace's
+#: ``created`` time; ``None`` end means the trace's ``finished`` time.
+_STAGE_BOUNDS = (
+    ("queue", None, "enqueued"),
+    ("batch-wait", "enqueued", "accepted"),
+    ("ring", "accepted", "dequeued"),
+    ("engine-service", "dequeued", "landed"),
+    ("poll-delay", "landed", "delivered"),
+    ("resume", "delivered", None),
+)
+
+
+def derive_spans(root_name: str, created: float, finished: float,
+                 marks: Dict[str, float]) -> List[Span]:
+    """Build the span tree for one closed trace.
+
+    Returns the root span first, then one stage span per pair of
+    consecutive recorded marks. Stages whose bounding marks were never
+    recorded (e.g. ``ring`` for an op that never reached the backend)
+    are simply absent. An unbatched op has no ``enqueued`` mark, so its
+    ``queue`` stage runs straight to ``accepted``.
+    """
+    spans = [Span(root_name, created, finished)]
+    # The "queue" stage ends at the first recorded mark (enqueued for
+    # batched ops, accepted for unbatched); later stages use the table.
+    first_mark = next((marks[m] for m in MARK_ORDER if m in marks), None)
+    if first_mark is not None:
+        spans.append(Span("queue", created, first_mark, parent=root_name))
+    for name, start_mark, end_mark in _STAGE_BOUNDS[1:]:
+        start = marks.get(start_mark)
+        end = finished if end_mark is None else marks.get(end_mark)
+        if start is None or end is None:
+            continue
+        spans.append(Span(name, start, end, parent=root_name))
+    return spans

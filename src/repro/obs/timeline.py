@@ -1,0 +1,88 @@
+"""Utilization timelines: step functions sampled at change points.
+
+The device model reports "how busy is this resource" (busy computation
+engines per endpoint, in-flight ops per crypto instance) every time the
+value changes; the timeline stores the step function and answers
+time-weighted averages over arbitrary windows. Consecutive samples
+with the same value are deduplicated, so a poll storm that never
+changes occupancy costs one stored sample.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import List, Tuple
+
+__all__ = ["UtilizationTimeline"]
+
+
+class UtilizationTimeline:
+    """A right-continuous step function of resource occupancy."""
+
+    __slots__ = ("name", "capacity", "_times", "_values", "peak")
+
+    def __init__(self, name: str, capacity: int = 0) -> None:
+        self.name = name
+        #: Advisory maximum (engines per endpoint, ring capacity);
+        #: 0 = unknown.
+        self.capacity = capacity
+        self._times: List[float] = []
+        self._values: List[float] = []
+        self.peak = 0.0
+
+    def sample(self, when: float, value: float) -> None:
+        """Record ``value`` holding from ``when`` onward."""
+        if self._times:
+            if when < self._times[-1]:
+                raise ValueError(
+                    f"{self.name}: non-monotone sample at {when}")
+            if value == self._values[-1]:
+                return  # dedupe: the step function did not move
+            if when == self._times[-1]:
+                # Same-instant revision (several transitions inside one
+                # sim event): keep only the final value.
+                self._values[-1] = value
+                self.peak = max(self.peak, value)
+                return
+        self._times.append(when)
+        self._values.append(value)
+        if value > self.peak:
+            self.peak = value
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def value_at(self, when: float) -> float:
+        """Value of the step function at time ``when`` (0 before the
+        first sample)."""
+        idx = bisect_right(self._times, when) - 1
+        return self._values[idx] if idx >= 0 else 0.0
+
+    def mean(self, start: float, end: float) -> float:
+        """Time-weighted average occupancy over ``[start, end]``."""
+        if end <= start:
+            raise ValueError("empty window")
+        area = 0.0
+        t = start
+        value = self.value_at(start)
+        lo = bisect_left(self._times, start)
+        for i in range(lo, len(self._times)):
+            when = self._times[i]
+            if when >= end:
+                break
+            area += value * (when - t)
+            t, value = when, self._values[i]
+        area += value * (end - t)
+        return area / (end - start)
+
+    def utilization(self, start: float, end: float) -> float:
+        """Mean occupancy normalized by capacity (0 when unknown)."""
+        if not self.capacity:
+            return 0.0
+        return self.mean(start, end) / self.capacity
+
+    def steps(self) -> List[Tuple[float, float]]:
+        """The raw ``(time, value)`` change points."""
+        return list(zip(self._times, self._values))

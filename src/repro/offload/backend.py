@@ -59,6 +59,10 @@ class Completion:
     result: Any = None
     error: Optional[BaseException] = None
     transport_error: bool = False
+    #: Device-side checkpoint timestamps for request-lifecycle tracing
+    #: (mark name -> simulated time; see :mod:`repro.obs.span`). None
+    #: when the backend does not record them.
+    device_marks: Optional[Dict[str, float]] = None
 
 
 @dataclass

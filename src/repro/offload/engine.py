@@ -54,6 +54,7 @@ from ..core.costmodel import CostModel
 from ..cpu.core import Core
 from ..crypto.ops import CryptoOpKind
 from ..net.epoll_sim import NOTIFY_FD_WRITE_COST
+from ..obs.span import SpanStatus
 from ..tls.actions import CryptoCall
 from .backend import OffloadBackend, OpSpec
 from .errors import OffloadTimeout
@@ -282,6 +283,10 @@ class AsyncOffloadEngine:
         the software path (or raises :class:`OffloadTimeout`)."""
         if not self.offloads(call):
             return (yield from self._execute_software(call, owner))
+        sim = self.core.sim
+        obs = getattr(sim, "obs", None)
+        trace = (obs.begin(call.op, -1, -1, "blocking", sim.now)
+                 if obs is not None and obs.enabled else None)
         submit_cost = self.backend.submit_cpu_cost(1)
         yield from self.core.consume(submit_cost, owner=owner)
         self.submit_time += submit_cost
@@ -290,6 +295,8 @@ class AsyncOffloadEngine:
         while submitted is None:
             if (attempts >= self.submit_max_retries
                     or not self._any_lane_available()):
+                if trace is not None:
+                    obs.finish(trace, sim.now, SpanStatus.TIMEOUT)
                 return (yield from self._offload_failed(
                     call, owner,
                     OffloadTimeout(
@@ -301,6 +308,9 @@ class AsyncOffloadEngine:
             attempts += 1
             submitted = self._try_submit(call.op, call.compute)
         token, lane = submitted
+        if trace is not None:
+            trace.accept(sim.now, self.backend.name, lane,
+                         attempts=attempts - 1)
         self.inflight.increment(call.op.category)
         self.ops_offloaded += 1
         wait_started = self.core.sim.now
@@ -324,6 +334,8 @@ class AsyncOffloadEngine:
                 self.op_timeouts += 1
                 self.backend.lane_stats(lane).op_timeouts += 1
                 self.breakers[lane].record_failure()
+                if trace is not None:
+                    obs.finish(trace, sim.now, SpanStatus.TIMEOUT)
                 return (yield from self._offload_failed(
                     call, owner,
                     OffloadTimeout(
@@ -333,14 +345,23 @@ class AsyncOffloadEngine:
             yield from self.core.consume(self.busy_poll_slice, owner=owner)
         self.blocking_wait_time += self.core.sim.now - wait_started
         self.inflight.decrement(call.op.category)
+        if trace is not None:
+            trace.absorb_device_marks(resp.device_marks)
+            trace.mark("delivered", sim.now)
         if resp.transport_error:
             self.responses_corrupted += 1
             self.breakers[lane].record_failure()
+            if trace is not None:
+                obs.finish(trace, sim.now, SpanStatus.FAILOVER)
             return (yield from self._offload_failed(call, owner, resp.error,
                                                     lane=lane))
         self.breakers[lane].record_success()
         if resp.error is not None:
+            if trace is not None:
+                obs.finish(trace, sim.now, SpanStatus.ERROR)
             raise resp.error
+        if trace is not None:
+            obs.finish(trace, sim.now)
         return resp.result
 
     # -- asynchronous offload ----------------------------------------------------
@@ -375,6 +396,10 @@ class AsyncOffloadEngine:
             return False
         token, lane = submitted
         now = self.core.sim.now
+        trace = getattr(job, "trace", None)
+        if trace is not None:
+            trace.accept(now, self.backend.name, lane,
+                         attempts=getattr(job, "submit_attempts", 0))
         self._pending[token] = PendingOp(
             call=call, job=job, lane=lane, submitted_at=now,
             deadline=now + self.request_deadline)
@@ -394,6 +419,9 @@ class AsyncOffloadEngine:
         mark_paused = getattr(job, "mark_paused", None)
         if mark_paused is not None:
             mark_paused(call)
+        trace = getattr(job, "trace", None)
+        if trace is not None:
+            trace.mark("enqueued", now)
         self._batch.append(_QueuedOp(call, job, now,
                                      now + self.request_deadline))
         self.inflight.increment(call.op.category)
@@ -459,6 +487,10 @@ class AsyncOffloadEngine:
                         q.attempts += 1
                         continue
                     self._batch.remove(q)
+                    trace = getattr(q.job, "trace", None)
+                    if trace is not None:
+                        trace.accept(now, self.backend.name, lane,
+                                     attempts=q.attempts)
                     self._pending[token] = PendingOp(
                         call=q.call, job=q.job, lane=lane,
                         submitted_at=now, deadline=q.deadline)
@@ -603,6 +635,9 @@ class AsyncOffloadEngine:
                 continue
             self.inflight.decrement(resp.op.category)
             job = pending.job
+            trace = getattr(job, "trace", None)
+            if trace is not None:
+                trace.absorb_device_marks(resp.device_marks)
             breaker = self.breakers[pending.lane]
             if resp.transport_error:
                 self.responses_corrupted += 1
@@ -610,6 +645,10 @@ class AsyncOffloadEngine:
                 yield from self._deliver_failure(pending, owner, resp.error)
             else:
                 breaker.record_success()
+                if trace is not None:
+                    trace.mark("delivered", self.core.sim.now)
+                    if resp.error is not None:
+                        trace.status = SpanStatus.ERROR
                 job.deliver(resp.result, resp.error)
                 self.responses_dispatched += 1
                 yield from self._notify_job(job, owner)
@@ -690,6 +729,14 @@ class AsyncOffloadEngine:
         """Resume a paused job whose offload failed: software-fallback
         result when enabled, the error itself otherwise."""
         job = pending.job
+        trace = getattr(job, "trace", None)
+        if trace is not None:
+            # Timeouts (deadline missed, lost op, never-submitted) and
+            # transport failovers are distinct terminal statuses; the
+            # SSL driver closes the trace when the job resumes.
+            trace.status = (SpanStatus.TIMEOUT
+                            if isinstance(exc, OffloadTimeout)
+                            else SpanStatus.FAILOVER)
         if self.software_fallback:
             self.ops_fallback += 1
             if pending.lane >= 0:
@@ -698,6 +745,8 @@ class AsyncOffloadEngine:
             job.deliver(result, None)
         else:
             job.deliver(None, exc)
+        if trace is not None:
+            trace.mark("delivered", self.core.sim.now)
         yield from self._notify_job(job, owner)
 
     def _notify_job(self, job: object, owner: object) -> Generator:

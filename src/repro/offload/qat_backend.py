@@ -60,7 +60,12 @@ class QatBackend(OffloadBackend):
                     token=resp.request, op=resp.request.op,
                     result=resp.result, error=resp.error,
                     transport_error=isinstance(resp.error,
-                                               QatHardwareError)))
+                                               QatHardwareError),
+                    device_marks={
+                        "dequeued": resp.request.dequeued_at,
+                        "serviced": resp.request.serviced_at,
+                        "landed": resp.completed_at,
+                    }))
         return out
 
     def submit_cpu_cost(self, n_ops: int) -> float:

@@ -61,7 +61,8 @@ RPC_RESPONSE_BYTES = 288
 class _RemoteRequest:
     """One op in flight to/inside/back from the remote service."""
 
-    __slots__ = ("op", "compute", "cookie", "submitted_at")
+    __slots__ = ("op", "compute", "cookie", "submitted_at", "arrived_at",
+                 "serviced_at")
 
     def __init__(self, op, compute: Callable[[], Any], cookie: Any,
                  submitted_at: float) -> None:
@@ -69,6 +70,10 @@ class _RemoteRequest:
         self.compute = compute
         self.cookie = cookie
         self.submitted_at = submitted_at
+        # Lifecycle stamps for request tracing: RPC arrival at the
+        # service and service completion.
+        self.arrived_at: Optional[float] = None
+        self.serviced_at: Optional[float] = None
 
 
 class RemoteCryptoService:
@@ -173,10 +178,13 @@ class RemoteAcceleratorBackend(OffloadBackend):
         return tokens
 
     def _arrive(self, batch) -> None:
+        now = self.sim.now
         for request in batch:
+            request.arrived_at = now
             self.service.submit(request, self._serviced)
 
     def _serviced(self, request, result, error) -> None:
+        request.serviced_at = self.sim.now
         delivery = self.rx_link.transfer(RPC_RESPONSE_BYTES)
         delivery.callbacks.append(
             lambda _ev: self._land(request, result, error))
@@ -185,7 +193,12 @@ class RemoteAcceleratorBackend(OffloadBackend):
         self.outstanding -= 1
         self._completions.append(Completion(
             token=request, op=request.op, result=result, error=error,
-            transport_error=False))
+            transport_error=False,
+            device_marks={
+                "dequeued": request.arrived_at,
+                "serviced": request.serviced_at,
+                "landed": self.sim.now,
+            }))
 
     def poll_completions(self, max_responses: Optional[int] = None
                          ) -> List[Completion]:

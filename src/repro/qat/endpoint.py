@@ -78,10 +78,19 @@ class QatEndpoint:
                 return
             request = req_ring.take_request()
             assert request is not None
+            request.dequeued_at = self.sim.now
             grant = self.engines.request()
             assert grant.triggered  # capacity was checked above
+            self._sample_engines()
             self.sim.process(self._run_engine(request, req_ring),
                              name=f"qat-exec-{request.request_id}")
+
+    def _sample_engines(self) -> None:
+        """Report engine occupancy to the request tracer, if any."""
+        obs = getattr(self.sim, "obs", None)
+        if obs is not None and obs.enabled:
+            obs.util_sample(f"qat{self.endpoint_id}.engines", self.sim.now,
+                            self.engines.in_use, capacity=self.n_engines)
 
     def _next_nonempty_ring(self) -> Optional[RingPair]:
         rings: List[RingPair] = []
@@ -106,6 +115,7 @@ class QatEndpoint:
             service *= plan.latency_multiplier(self.endpoint_id,
                                                request.op, self.sim.now)
         yield self.sim.timeout(self.pcie_latency + service)
+        request.serviced_at = self.sim.now
         response = QatResponse(request)
         try:
             response.result = request.compute()
@@ -118,10 +128,14 @@ class QatEndpoint:
                 response.result = None
                 response.error = hw_error
         self.fw_counters.record(request.op, ok=response.ok)
+        obs = getattr(self.sim, "obs", None)
+        if obs is not None and obs.enabled:
+            obs.fw_record(self.endpoint_id, request.op, response.ok)
         # The engine frees up now; completion continues down the
         # response pipeline (firmware + outbound DMA) without holding
         # engine capacity.
         self.engines.release()
+        self._sample_engines()
         self._dispatch()  # pull more work if rings are backed up
         yield self.sim.timeout(self.pcie_latency
                                + qat_pipeline_latency(request.op))

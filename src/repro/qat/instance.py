@@ -46,6 +46,7 @@ class CryptoInstance:
         ring = self._ring_for(request.op.category)
         if not ring.try_submit(request):
             return False
+        self._sample_inflight()
         self.endpoint.notify_submission()
         return True
 
@@ -58,7 +59,20 @@ class CryptoInstance:
             if budget == 0:
                 break
             out.extend(ring.poll_responses(budget))
+        if out:
+            self._sample_inflight()
         return out
+
+    def _sample_inflight(self) -> None:
+        """Report ring occupancy to the request tracer, if any."""
+        sim = self.endpoint.sim
+        obs = getattr(sim, "obs", None)
+        if obs is not None and obs.enabled:
+            obs.util_sample(
+                f"ep{self.endpoint.endpoint_id}.i{self.instance_id}"
+                ".inflight",
+                sim.now, self.in_flight,
+                capacity=sum(r.capacity for r in self.rings.values()))
 
     def reset(self) -> int:
         """Wipe this instance's rings (device recovery); returns the

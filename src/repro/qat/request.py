@@ -28,6 +28,10 @@ class QatRequest:
     cookie: Any = None  # opaque engine-layer context (offload job ref)
     request_id: int = field(default_factory=lambda: next(_request_ids))
     submitted_at: Optional[float] = None
+    #: When the hardware scheduler pulled this request off its ring.
+    dequeued_at: Optional[float] = None
+    #: When the computation engine finished the calculation.
+    serviced_at: Optional[float] = None
 
 
 @dataclass

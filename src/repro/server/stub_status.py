@@ -33,6 +33,14 @@ class StubStatus:
         self.backend = ""
         self.batches_submitted = 0
         self.batch_ops = 0
+        # Request-tracing section: lifecycle counters published by the
+        # worker from the simulation's RequestTracer (all zero when
+        # tracing is off).
+        self.trace_ops = 0
+        self.trace_open = 0
+        self.trace_spans = 0
+        self.trace_sampled_out = 0
+        self.tracing = False
 
     # -- lifecycle hooks -------------------------------------------------
 
@@ -91,6 +99,16 @@ class StubStatus:
         return (self.batch_ops / self.batches_submitted
                 if self.batches_submitted else 0.0)
 
+    def update_trace(self, *, trace_ops: int, trace_open: int,
+                     trace_spans: int, trace_sampled_out: int) -> None:
+        """Refresh the request-tracing counters (worker watchdog /
+        shutdown)."""
+        self.tracing = True
+        self.trace_ops = trace_ops
+        self.trace_open = trace_open
+        self.trace_spans = trace_spans
+        self.trace_sampled_out = trace_sampled_out
+
     @property
     def degraded(self) -> bool:
         """Is the offload path currently (or was it ever) impaired?"""
@@ -113,4 +131,8 @@ class StubStatus:
             f"open_breakers {self.open_breakers} "
             f"submit_failures {self.submit_failures} "
             f"watchdog_rescues {self.watchdog_rescues}\n"
+            + (f"trace: ops {self.trace_ops} open {self.trace_open} "
+               f"spans {self.trace_spans} "
+               f"sampled_out {self.trace_sampled_out}\n"
+               if self.tracing else "")
         )

@@ -268,6 +268,9 @@ class Worker:
             backend=eng.backend.name,
             batches_submitted=eng.batches_submitted,
             batch_ops=eng.batch_ops)
+        obs = getattr(self.sim, "obs", None)
+        if obs is not None and obs.enabled:
+            self.stub_status.update_trace(**obs.snapshot_counts())
 
     # -- accept path -----------------------------------------------------------------
 

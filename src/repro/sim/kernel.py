@@ -41,6 +41,11 @@ class Simulator:
         self._heap: List[Tuple[float, int, int, Event]] = []
         self._seq = count()
         self.trace = trace or Tracer(enabled=False)
+        #: Optional request-lifecycle tracer (a
+        #: :class:`repro.obs.tracer.RequestTracer`). The kernel never
+        #: touches it; it lives here so every layer holding a sim
+        #: reference can reach the same tracer. None = tracing off.
+        self.obs = None
 
     # -- time ------------------------------------------------------------
 

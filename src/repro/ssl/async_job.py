@@ -67,6 +67,11 @@ class AsyncJob:
         #: Consecutive failed ring submissions (reset on acceptance);
         #: bounds the WANT_RETRY loop under ring-full storms.
         self.submit_attempts = 0
+        #: Request-lifecycle trace context for the op currently in
+        #: flight (:class:`repro.obs.context.OpTrace`); one op is in
+        #: flight per job at a time, and the SSL driver clears this on
+        #: resume.
+        self.trace = None
 
     # -- engine-facing ------------------------------------------------------
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Generator, List, Optional
 
+from ..obs.span import SpanStatus
 from ..offload.engine import AsyncOffloadEngine
 from ..tls.actions import (CryptoCall, HandshakeResult, NeedMessage,
                            SendMessage)
@@ -159,6 +160,15 @@ class SslConnection:
             else:
                 yield from core.consume(cm.stack_replay_cost * replayed,
                                         owner=owner)
+            # The op's lifecycle ends here: the paused job is running
+            # again (the "resume" stage covers notification + context
+            # restore). Failure statuses were stamped by the engine.
+            trace = job.trace
+            if trace is not None:
+                job.trace = None
+                obs = getattr(core.sim, "obs", None)
+                if obs is not None and obs.enabled:
+                    obs.finish(trace, core.sim.now)
             job.parked_action = None
             if exc is None:
                 job.record_crypto(value)
@@ -186,6 +196,16 @@ class SslConnection:
             if isinstance(action, CryptoCall):
                 if (use_async and isinstance(engine, AsyncOffloadEngine)
                         and engine.offloads(action)):
+                    obs = getattr(core.sim, "obs", None)
+                    if (obs is not None and obs.enabled
+                            and job.trace is None):
+                        # One trace per offloaded op, opened at the
+                        # offload decision; WANT_RETRY re-submissions
+                        # reuse it (the queue stage absorbs them).
+                        job.trace = obs.begin(
+                            action.op, self.conn_id,
+                            getattr(owner, "worker_id", -1), job.kind,
+                            core.sim.now)
                     ok = yield from engine.submit_async(action, job, owner)
                     if ok:
                         job.mark_paused(action)
@@ -203,6 +223,13 @@ class SslConnection:
                     # the handshake still makes progress.
                     result = yield from engine.execute_fallback(action,
                                                                 owner)
+                    trace = job.trace
+                    if trace is not None:
+                        job.trace = None
+                        obs = getattr(core.sim, "obs", None)
+                        if obs is not None and obs.enabled:
+                            obs.finish(trace, core.sim.now,
+                                       SpanStatus.FAILOVER)
                     job.submit_attempts = 0
                     job.record_crypto(result)
                     outcome = job.advance(result)
@@ -252,4 +279,13 @@ class SslConnection:
 
     def abort_job(self) -> None:
         """Drop any in-progress job (connection is being torn down)."""
+        job = self._job
+        if job is not None:
+            trace = getattr(job, "trace", None)
+            if trace is not None:
+                job.trace = None
+                sim = self.ctx.core.sim
+                obs = getattr(sim, "obs", None)
+                if obs is not None and obs.enabled:
+                    obs.abort_open(trace, sim.now)
         self._job = None

@@ -3,41 +3,18 @@ breakers, software failover, stale-response filtering."""
 
 import pytest
 
-from repro.core.costmodel import CostModel
-from repro.cpu import Core
-from repro.crypto.ops import CryptoOp, CryptoOpKind
-from repro.engine import CircuitBreaker, OffloadTimeout, QatEngine
-from repro.qat import QatDevice, QatUserspaceDriver, qat_service_time
-from repro.qat.faults import FaultPlan
-from repro.sim import Simulator
-from repro.sim.rng import RngRegistry
-from repro.ssl.async_job import FiberAsyncJob
-
-
-from repro.tls.actions import CryptoCall
-
-
-def rsa_call(result="sig"):
-    return CryptoCall(CryptoOp(CryptoOpKind.RSA_PRIV, rsa_bits=2048),
-                      compute=lambda: result)
+from repro.engine import CircuitBreaker, OffloadTimeout
+from repro.qat import qat_service_time
+from repro.testing import make_job, make_qat_env, rsa_call
 
 
 def make_env(plan_kw=None, seed=7, **engine_kw):
-    sim = Simulator()
-    core = Core(sim, 0)
-    dev = QatDevice(sim, n_endpoints=1)
-    if plan_kw is not None:
-        dev.install_fault_plan(FaultPlan(RngRegistry(seed).stream("faults"),
-                                         **plan_kw))
-    drv = QatUserspaceDriver(dev.allocate_instances(1)[0])
-    eng = QatEngine(drv, core, CostModel(), **engine_kw)
-    return sim, core, eng
+    env = make_qat_env(plan_kw=plan_kw, seed=seed, **engine_kw)
+    return env.sim, env.core, env.engine
 
 
 def _job():
-    job = FiberAsyncJob(lambda: iter(()), kind="handshake")
-    job.mark_paused(rsa_call())
-    return job
+    return make_job(paused_on=rsa_call())
 
 
 # -- blocking path ------------------------------------------------------------
@@ -260,11 +237,8 @@ def test_breaker_cancel_probe_releases_slot():
 def test_engine_routes_around_open_breaker():
     """With two instances and one breaker open, submissions flow to the
     healthy instance only."""
-    sim = Simulator()
-    core = Core(sim, 0)
-    dev = QatDevice(sim, n_endpoints=2)
-    drvs = [QatUserspaceDriver(i) for i in dev.allocate_instances(2)]
-    eng = QatEngine(drvs, core, CostModel(), breaker_failure_threshold=1)
+    env = make_qat_env(n_instances=2, breaker_failure_threshold=1)
+    sim, eng, drvs = env.sim, env.engine, env.drivers
     eng.breakers[0].record_failure()
     assert eng.breakers[0].is_open
     jobs = [_job() for _ in range(4)]

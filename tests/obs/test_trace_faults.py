@@ -1,0 +1,130 @@
+"""Fault-path tracing: ops degraded by injected faults must terminate
+their span trees with the right status (timeout for lost responses,
+failover for corruption / exhausted submit paths) and never leak open
+spans."""
+
+import json
+
+from repro.bench.runner import Testbed, Windows
+from repro.obs import SpanStatus, validate_chrome_trace
+from repro.obs.export import chrome_trace_events
+from repro.testing import make_job, make_qat_env, rsa_call
+
+from .test_span_invariants import assert_well_formed
+
+
+def _traced_submit(env, job):
+    """Open a trace for ``job`` the way the SSL driver does."""
+    call = rsa_call()
+    job.trace = env.tracer.begin(call.op, 5, 0, job.kind, env.sim.now)
+    return call
+
+
+# -- engine-level status stamping ---------------------------------------------
+
+def test_lost_response_terminates_trace_as_timeout():
+    env = make_qat_env(trace=True, plan_kw=dict(response_loss=1.0),
+                       request_deadline=1e-3)
+    sim, eng = env.sim, env.engine
+    job = make_job(paused_on=rsa_call())
+
+    def proc(sim):
+        call = _traced_submit(env, job)
+        yield from eng.submit_async(call, job, owner="w")
+        yield sim.timeout(2e-3)
+        yield from eng.check_timeouts(owner="w")
+
+    sim.process(proc(sim))
+    sim.run()
+    trace = job.trace
+    assert trace.status == SpanStatus.TIMEOUT  # stamped at delivery
+    assert "accepted" in trace.marks           # it did reach the ring
+    assert "delivered" in trace.marks          # failure was delivered
+    assert "landed" not in trace.marks         # the response never came
+    env.tracer.finish(trace, sim.now)          # SSL driver's close
+    assert trace.status == SpanStatus.TIMEOUT  # close keeps the stamp
+    assert env.tracer.by_status == {SpanStatus.TIMEOUT: 1}
+    assert not env.tracer.open
+
+
+def test_corrupted_response_terminates_trace_as_failover():
+    env = make_qat_env(trace=True, plan_kw=dict(corruption=1.0))
+    sim, eng = env.sim, env.engine
+    job = make_job(paused_on=rsa_call())
+
+    def proc(sim):
+        call = _traced_submit(env, job)
+        yield from eng.submit_async(call, job, owner="w")
+        while not job.response_ready:
+            yield from eng.poll_and_dispatch(owner="w")
+            yield sim.timeout(10e-6)
+
+    sim.process(proc(sim))
+    sim.run()
+    trace = job.trace
+    assert trace.status == SpanStatus.FAILOVER
+    # The device stamps survive: the op really traversed the card.
+    assert {"accepted", "dequeued", "landed", "delivered"} <= set(trace.marks)
+    env.tracer.finish(trace, sim.now)
+    assert trace.status == SpanStatus.FAILOVER
+
+
+def test_blocking_outage_trace_closes_as_timeout():
+    env = make_qat_env(trace=True, plan_kw=dict(outages=((0, 0.0, 1.0),)),
+                       submit_max_retries=4)
+    sim, eng = env.sim, env.engine
+    out = {}
+
+    def proc(sim):
+        out["r"] = yield from eng.execute_blocking(rsa_call(), owner="w")
+
+    sim.process(proc(sim))
+    sim.run()
+    assert out["r"] == "sig"  # software fallback still served the op
+    assert env.tracer.by_status == {SpanStatus.TIMEOUT: 1}
+    (trace,) = env.tracer.traces
+    assert trace.kind == "blocking"
+    assert "accepted" not in trace.marks  # the card never admitted it
+
+
+# -- full-stack faulted run ----------------------------------------------------
+
+def test_faulted_run_traces_every_degraded_op(tmp_path):
+    bed = Testbed("QTLS", workers=1, seed=11, trace=True,
+                  fault_plan=dict(response_loss=0.02, corruption=0.02),
+                  qat_request_deadline=2e-3)
+    bed.add_s_time_fleet(n_clients=40)
+    bed.run_window(Windows(warmup=0.02, measure=0.04))
+    tracer = bed.tracer
+    assert_well_formed(tracer)
+    # The injected faults surface as terminal statuses, not lost spans.
+    assert tracer.by_status.get(SpanStatus.OK, 0) > 100
+    assert tracer.by_status.get(SpanStatus.TIMEOUT, 0) > 0
+    assert tracer.by_status.get(SpanStatus.FAILOVER, 0) > 0
+    degraded = [t for t in tracer.traces
+                if t.status in (SpanStatus.TIMEOUT, SpanStatus.FAILOVER)]
+    for t in degraded:
+        assert "delivered" in t.marks  # the job was resumed regardless
+    # No leaks: open traces are exactly the ops still in flight.
+    assert tracer.ops_started == tracer.ops_closed + len(tracer.open)
+    # Draining the horizon leftovers closes everything as aborted.
+    for t in list(tracer.open.values()):
+        tracer.abort_open(t, bed.sim.now)
+    assert not tracer.open
+    assert tracer.ops_closed == tracer.ops_started
+    doc = json.loads(json.dumps(
+        {"traceEvents": chrome_trace_events(tracer)}))
+    assert validate_chrome_trace(doc) == []
+
+
+def test_faulted_run_replays_bit_for_bit():
+    def statuses():
+        bed = Testbed("QTLS", workers=1, seed=11, trace=True,
+                      fault_plan=dict(response_loss=0.05),
+                      qat_request_deadline=2e-3)
+        bed.add_s_time_fleet(n_clients=40)
+        bed.run_window(Windows(warmup=0.02, measure=0.04))
+        return (dict(bed.tracer.by_status),
+                [t.as_dict() for t in bed.tracer.traces])
+
+    assert statuses() == statuses()

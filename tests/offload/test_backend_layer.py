@@ -4,34 +4,18 @@ control, failover of queued ops)."""
 
 import pytest
 
-from repro.core.costmodel import CostModel
-from repro.cpu import Core
-from repro.crypto.ops import CryptoOp, CryptoOpKind, OpCategory
-from repro.engine.qat_engine import QatEngine
-from repro.qat import QatDevice, QatUserspaceDriver
-from repro.sim import Simulator
-from repro.ssl.async_job import FiberAsyncJob
-
-
-def rsa_call(result="sig"):
-    from repro.tls.actions import CryptoCall
-    return CryptoCall(CryptoOp(CryptoOpKind.RSA_PRIV, rsa_bits=2048),
-                      compute=lambda: result)
+from repro.crypto.ops import OpCategory
+from repro.testing import make_job, make_qat_env, rsa_call
 
 
 def _job():
-    return FiberAsyncJob(lambda: iter(()), kind="handshake")
+    return make_job(kind="handshake")
 
 
 def make_env(n_instances=1, ring_capacity=64, **engine_kw):
-    sim = Simulator()
-    core = Core(sim, 0)
-    dev = QatDevice(sim, n_endpoints=max(1, n_instances),
-                    ring_capacity=ring_capacity)
-    drivers = [QatUserspaceDriver(inst)
-               for inst in dev.allocate_instances(n_instances)]
-    eng = QatEngine(drivers, core, CostModel(), **engine_kw)
-    return sim, core, eng
+    env = make_qat_env(n_instances=n_instances,
+                       ring_capacity=ring_capacity, **engine_kw)
+    return env.sim, env.core, env.engine
 
 
 # -- error types ---------------------------------------------------------------

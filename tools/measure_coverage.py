@@ -1,0 +1,92 @@
+"""Measure line coverage of ``src/repro`` using only the stdlib.
+
+The CI coverage job runs ``pytest --cov=repro --cov-fail-under=<N>``
+with coverage.py; this tool exists to (re)measure the baseline ``N``
+in environments where coverage.py is not installed. It runs the test
+suite under :mod:`trace` (per-line tracing restricted to ``src/repro``
+— everything else is ignored at the call level, so the slowdown stays
+tolerable) and reports executed/executable lines per module and in
+total.
+
+Usage::
+
+    PYTHONPATH=src python tools/measure_coverage.py [pytest args...]
+
+Default pytest args: ``-x -q tests``. The summary line at the end is
+the number to pin (coverage.py and this tool agree to within a couple
+of points; pin a few points below the measured total so tool drift and
+platform-dependent branches don't flap the gate).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import sysconfig
+import trace as trace_mod
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+PKG = os.path.join(SRC, "repro")
+
+
+def _executable_lines(path: str) -> set:
+    """Line numbers that compile to code (the coverage denominator)."""
+    try:
+        return set(trace_mod._find_executable_linenos(path))
+    except Exception:
+        return set()
+
+
+def main() -> int:
+    import pytest
+
+    args = sys.argv[1:] or ["-x", "-q", "tests"]
+    ignoredirs = [sys.prefix, sys.exec_prefix,
+                  sysconfig.get_path("stdlib"),
+                  sysconfig.get_path("purelib"),
+                  os.path.join(REPO, "tests"),
+                  os.path.join(REPO, "benchmarks")]
+    tracer = trace_mod.Trace(count=1, trace=0, ignoredirs=ignoredirs)
+
+    exit_code = [0]
+
+    def run():
+        exit_code[0] = pytest.main(args)
+
+    print(f"measuring line coverage of {PKG} under: pytest {' '.join(args)}")
+    tracer.runfunc(run)
+
+    counts = tracer.results().counts  # (filename, lineno) -> hits
+    executed = {}
+    for (filename, lineno), hits in counts.items():
+        if hits and filename.startswith(PKG):
+            executed.setdefault(filename, set()).add(lineno)
+
+    total_exec = total_lines = 0
+    rows = []
+    for dirpath, _dirnames, filenames in os.walk(PKG):
+        for fn in sorted(filenames):
+            if not fn.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, fn)
+            lines = _executable_lines(path)
+            if not lines:
+                continue
+            hit = len(executed.get(path, set()) & lines)
+            total_exec += hit
+            total_lines += len(lines)
+            rows.append((os.path.relpath(path, SRC), hit, len(lines)))
+
+    print()
+    width = max(len(r[0]) for r in rows)
+    for name, hit, n in rows:
+        print(f"{name:<{width}}  {hit:>5}/{n:<5}  {100 * hit / n:6.1f}%")
+    pct = 100 * total_exec / total_lines if total_lines else 0.0
+    print()
+    print(f"TOTAL {total_exec}/{total_lines} lines = {pct:.1f}%")
+    return exit_code[0]
+
+
+if __name__ == "__main__":
+    sys.exit(main())
