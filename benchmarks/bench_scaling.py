@@ -1,0 +1,52 @@
+"""Instance-pool scaling: allocation policies x load shape, plus
+admission control under overload.
+
+Runnable standalone for CI smoke checks::
+
+    PYTHONPATH=src python benchmarks/bench_scaling.py --smoke
+
+exits non-zero if any scaling check fails. Also writes a
+machine-readable ``BENCH_scaling.json`` (throughput + p99 per policy)
+so the perf trajectory is tracked across PRs.
+"""
+
+from repro.bench.experiments import run_scaling
+
+
+def test_scaling(run_experiment):
+    run_experiment(run_scaling)
+
+
+def summary_payload(result) -> dict:
+    """Throughput/p99/imbalance per (scenario, policy) from the result
+    rows, in a stable machine-readable shape."""
+    payload: dict = {"experiment": result.exp_id, "scenarios": {}}
+    for row in result.rows:
+        scen = payload["scenarios"].setdefault(row["scenario"], {})
+        pol = scen.setdefault(row["policy"], {})
+        pol[row["metric"]] = row["value"]
+    payload["checks_pass"] = result.all_checks_pass
+    return payload
+
+
+if __name__ == "__main__":
+    import argparse
+    import json
+    import sys
+
+    parser = argparse.ArgumentParser(
+        description="instance-pool allocation-policy scaling experiment")
+    parser.add_argument("--smoke", action="store_true",
+                        help="short windows, single replay (CI)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", default="BENCH_scaling.json",
+                        help="machine-readable summary path")
+    args = parser.parse_args()
+
+    result = run_scaling(quick=True, seed=args.seed, smoke=args.smoke)
+    print(result.render())
+    with open(args.out, "w") as fh:
+        json.dump(summary_payload(result), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    sys.exit(0 if result.all_checks_pass else 1)

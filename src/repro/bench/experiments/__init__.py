@@ -6,6 +6,7 @@ from .ablations import (run_async_impl, run_fd_sharing,
                         run_thresholds)
 from .backends import run as run_backends
 from .cycles import run as run_cycles
+from .scaling import run as run_scaling
 from .ext_tls13_resumption import run as run_ext_tls13_resumption
 from .faults import run as run_faults
 from .trace_overhead import run as run_trace_overhead
@@ -42,6 +43,7 @@ ALL_EXPERIMENTS = {
     "ext-tls13-resumption": run_ext_tls13_resumption,
     "faults": run_faults,
     "backends": run_backends,
+    "scaling": run_scaling,
     "trace_overhead": run_trace_overhead,
 }
 

@@ -6,7 +6,7 @@ latency over a warmed-up window, as the paper's testbed does.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..clients import AbFleet, STimeFleet
 from ..core.configurations import make_server_config
@@ -119,9 +119,14 @@ class Testbed:
                 * self.config.worker_processes)
 
     def add_s_time_fleet(self, n_clients: Optional[int] = None,
+                         addresses: Optional[List[str]] = None,
                          **kw) -> STimeFleet:
+        """``addresses`` overrides the per-worker listener list; pass a
+        weighted (repeated) list to skew load across workers — clients
+        map to ``addresses[client_id % len(addresses)]``."""
         fleet = STimeFleet(
-            self.sim, self.net, self.server.addresses(),
+            self.sim, self.net,
+            addresses if addresses is not None else self.server.addresses(),
             self._client_config_factory(), self.cost_model, self.metrics,
             n_clients=(n_clients if n_clients is not None
                        else self.default_clients()),

@@ -1,9 +1,16 @@
-"""Crypto execution engines (software baseline + QAT Engine layer)."""
+"""Crypto execution engines (software baseline + QAT Engine layer).
 
+The framework machinery (:class:`CircuitBreaker`,
+:class:`InflightCounters`, :class:`OffloadTimeout`) lives in
+:mod:`repro.offload`; it is re-exported here because the QAT Engine is
+the canonical consumer.
+"""
+
+from ..offload.errors import OffloadTimeout, RingFull
+from ..offload.health import CircuitBreaker
+from ..offload.inflight import InflightCounters
 from .base import Engine
-from .health import CircuitBreaker, OffloadTimeout
-from .inflight import InflightCounters
-from .qat_engine import ALGORITHM_GROUPS, QatEngine, RingFull
+from .qat_engine import ALGORITHM_GROUPS, QatEngine
 from .software import SoftwareEngine
 
 __all__ = ["Engine", "SoftwareEngine", "QatEngine", "RingFull",

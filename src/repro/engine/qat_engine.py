@@ -13,7 +13,7 @@ constructor and introspection surface (``drivers``, ``driver``, ...).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Union
+from typing import Iterable, List, Optional, Sequence, Union
 
 from ..core.costmodel import CostModel
 from ..cpu.core import Core
@@ -50,7 +50,8 @@ class QatEngine(AsyncOffloadEngine, Engine):
                  breaker_reset_timeout: float = 10e-3,
                  software_fallback: bool = True,
                  batch_size: int = 1,
-                 batch_timeout: float = 50e-6) -> None:
+                 batch_timeout: float = 50e-6,
+                 admission_limit: Optional[int] = None) -> None:
         if isinstance(driver, QatUserspaceDriver):
             drivers = [driver]
         else:
@@ -67,7 +68,8 @@ class QatEngine(AsyncOffloadEngine, Engine):
             breaker_reset_timeout=breaker_reset_timeout,
             software_fallback=software_fallback,
             batch_size=batch_size,
-            batch_timeout=batch_timeout)
+            batch_timeout=batch_timeout,
+            admission_limit=admission_limit)
 
     @property
     def drivers(self) -> List[QatUserspaceDriver]:

@@ -3,7 +3,8 @@
 Closed traces serialize to the Trace Event Format consumed by
 ``chrome://tracing`` and Perfetto (https://ui.perfetto.dev): complete
 ("X") events for spans, counter ("C") events for the utilization
-timelines. The track layout maps the simulation onto the viewer's
+timelines, instant ("i") events for point occurrences such as pool
+lease migrations. The track layout maps the simulation onto the viewer's
 process/thread model:
 
 - ``pid`` = worker id (one process row per worker; -1 = jobless ops),
@@ -71,6 +72,13 @@ def chrome_trace_events(tracer: RequestTracer) -> List[Dict[str, Any]]:
                 "ts": _us(span.start), "dur": _us(span.duration),
                 "args": {"trace_id": trace.trace_id},
             })
+    for when, name, args in tracer.events:
+        events.append({
+            "ph": "i", "name": name, "cat": "pool", "s": "g",
+            "pid": DEVICE_PID, "tid": 0,
+            "ts": _us(when),
+            "args": args,
+        })
     for tid, name in enumerate(sorted(tracer.timelines)):
         timeline = tracer.timelines[name]
         for when, value in timeline.steps():
@@ -132,13 +140,18 @@ def validate_chrome_trace(doc: Dict[str, Any]) -> List[str]:
         if missing:
             errors.append(f"event {i}: missing {sorted(missing)}")
             continue
-        if ev["ph"] not in ("X", "C"):
+        if ev["ph"] not in ("X", "C", "i"):
             errors.append(f"event {i}: unknown phase {ev['ph']!r}")
             continue
         if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
             errors.append(f"event {i}: bad ts {ev['ts']!r}")
             continue
         if ev["ph"] == "C":
+            continue
+        if ev["ph"] == "i":
+            if ev.get("s") not in ("g", "p", "t"):
+                errors.append(f"event {i}: instant event with bad "
+                              f"scope {ev.get('s')!r}")
             continue
         dur = ev.get("dur")
         if not isinstance(dur, (int, float)) or dur < 0:

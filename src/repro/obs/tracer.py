@@ -64,6 +64,10 @@ class RequestTracer:
         #: root span.
         self.histograms: Dict[Tuple[str, str], StreamingHistogram] = {}
         self.timelines: Dict[str, UtilizationTimeline] = {}
+        #: Point-in-time occurrences (instance-lease migrations, …):
+        #: ``(time, name, args)`` tuples, exported as Chrome "i"
+        #: (instant) events.
+        self.events: List[Tuple[float, str, Dict[str, object]]] = []
         #: Firmware-level op counts (mirrors fw_counters, but visible
         #: per tracer so experiments can diff traced vs processed).
         self.fw_records: Dict[str, int] = {}
@@ -140,6 +144,12 @@ class RequestTracer:
                 name, capacity=capacity)
         timeline.sample(now, value)
 
+    def event(self, name: str, now: float,
+              args: Optional[Dict[str, object]] = None) -> None:
+        """Record a point-in-time occurrence (no duration) — e.g. a
+        pool lease migrating between workers."""
+        self.events.append((now, name, dict(args or {})))
+
     def fw_record(self, endpoint_id: int, op, ok: bool) -> None:
         """Firmware hook: one request processed by the accelerator."""
         key = f"ep{endpoint_id}.{op.kind.label}" + ("" if ok else ".err")
@@ -171,6 +181,7 @@ class RequestTracer:
         self.by_status.clear()
         self.histograms.clear()
         self.timelines.clear()
+        self.events.clear()
         self.fw_records.clear()
         self.ops_started = self.ops_closed = 0
         self.spans_closed = self.sampled_out = 0

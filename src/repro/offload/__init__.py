@@ -7,7 +7,11 @@ accelerators implement :class:`~repro.offload.backend.OffloadBackend`:
 - :class:`~repro.offload.qat_backend.QatBackend` — the on-board QAT
   card (``repro.qat`` device model), one lane per crypto instance;
 - :class:`~repro.offload.remote.RemoteAcceleratorBackend` — a
-  network-attached crypto service reached over ``repro.net`` links.
+  network-attached crypto service reached over ``repro.net`` links;
+- :class:`~repro.offload.pool.PooledQatBackend` — one worker's view of
+  a shared :class:`~repro.offload.pool.InstancePool`, whose
+  :class:`~repro.offload.pool.AllocationPolicy` (static / shared /
+  dynamic) decides which worker may submit to which instance.
 
 Attribute access is lazy (PEP 562) so low-level device modules can
 import :mod:`repro.offload.errors` without dragging in the engine
@@ -24,6 +28,9 @@ __all__ = [
     "PendingOp", "CircuitBreaker", "InflightCounters",
     "AsyncOffloadEngine", "ALGORITHM_GROUPS",
     "QatBackend", "RemoteAcceleratorBackend", "RemoteCryptoService",
+    "InstancePool", "PooledQatBackend", "AllocationPolicy",
+    "StaticPolicy", "SharedPolicy", "DynamicPolicy", "POLICIES",
+    "make_policy", "ARBITRATION_CPU_COST",
 ]
 
 _LAZY = {
@@ -39,6 +46,15 @@ _LAZY = {
     "QatBackend": "qat_backend",
     "RemoteAcceleratorBackend": "remote",
     "RemoteCryptoService": "remote",
+    "InstancePool": "pool",
+    "PooledQatBackend": "pool",
+    "AllocationPolicy": "pool",
+    "StaticPolicy": "pool",
+    "SharedPolicy": "pool",
+    "DynamicPolicy": "pool",
+    "POLICIES": "pool",
+    "make_policy": "pool",
+    "ARBITRATION_CPU_COST": "pool",
 }
 
 

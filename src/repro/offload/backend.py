@@ -94,6 +94,13 @@ class OffloadBackend:
         """Number of independent submission lanes."""
         raise NotImplementedError
 
+    def admits(self, lane: int) -> bool:
+        """May the caller submit to ``lane`` right now? Backends whose
+        lanes are leased from a shared pool return False for lanes
+        outside the current lease set; fixed-ownership backends admit
+        every lane (the default)."""
+        return True
+
     def submit_batch(self, specs: List[OpSpec], lane: int) -> List[Any]:
         """Submit ``specs`` to ``lane`` in one doorbell/RPC.
 

@@ -110,7 +110,8 @@ class AsyncOffloadEngine:
                  breaker_reset_timeout: float = 10e-3,
                  software_fallback: bool = True,
                  batch_size: int = 1,
-                 batch_timeout: float = 50e-6) -> None:
+                 batch_timeout: float = 50e-6,
+                 admission_limit: Optional[int] = None) -> None:
         if request_deadline <= 0:
             raise ValueError("request deadline must be positive")
         if submit_max_retries < 1:
@@ -119,6 +120,8 @@ class AsyncOffloadEngine:
             raise ValueError("batch size must be >= 1")
         if batch_timeout <= 0:
             raise ValueError("batch timeout must be positive")
+        if admission_limit is not None and admission_limit < 1:
+            raise ValueError("admission limit must be >= 1")
         self.backend = backend
         self._rr = 0
         self.core = core
@@ -146,6 +149,16 @@ class AsyncOffloadEngine:
         self._batch: Deque[_QueuedOp] = deque()
         self._flushing = False
         self._flush_timer_active = False
+        #: Admission control (``admission_limit`` set): ops accepted by
+        #: the engine while ``inflight`` is at the cap. FIFO — overload
+        #: degrades into bounded queueing instead of ring-full retry
+        #: storms. NOT counted in ``inflight`` (they are not on the
+        #: accelerator and must not block their own admission).
+        self.admission_limit = admission_limit
+        self._admission: Deque[_QueuedOp] = deque()
+        self.admission_enqueued = 0
+        self.admission_admitted = 0
+        self.admission_peak = 0
         self.inflight = InflightCounters()
         self._enabled_kinds: Set[CryptoOpKind] = set()
         for group in algorithms:
@@ -165,6 +178,11 @@ class AsyncOffloadEngine:
         # Batching stats (stub_status).
         self.batches_submitted = 0
         self.batch_ops = 0
+        #: Rejected submissions this engine attempted (ring full /
+        #: window exhausted). Engine-local: with pooled backends the
+        #: lanes are shared between workers, so summing lane counters
+        #: would double-count other workers' rejections.
+        self.submit_rejections = 0
         # Cycle accounting (CPU seconds) for the utilization analyses.
         self.software_crypto_time = 0.0
         self.blocking_wait_time = 0.0
@@ -187,9 +205,8 @@ class AsyncOffloadEngine:
 
     @property
     def submit_failures(self) -> int:
-        """Total rejected submissions across all backend lanes."""
-        return sum(self.backend.lane_stats(i).submit_failures
-                   for i in range(self.backend.lanes))
+        """Rejected submissions this engine attempted."""
+        return self.submit_rejections
 
     @property
     def mean_batch_size(self) -> float:
@@ -197,11 +214,12 @@ class AsyncOffloadEngine:
                 if self.batches_submitted else 0.0)
 
     def _pick_lane(self) -> Optional[int]:
-        """Rotate to the next lane whose breaker admits traffic."""
+        """Rotate to the next lane the backend leases to this engine
+        and whose breaker admits traffic."""
         n = self.backend.lanes
         for i in range(n):
             idx = (self._rr + i) % n
-            if self.breakers[idx].allow():
+            if self.backend.admits(idx) and self.breakers[idx].allow():
                 self._rr = (idx + 1) % n
                 return idx
         return None
@@ -209,11 +227,13 @@ class AsyncOffloadEngine:
     def _try_submit(self, op, compute, cookie=None
                     ) -> Optional[Tuple[Any, int]]:
         """Single-op submission, round-robin across lanes; tries every
-        lane whose breaker admits traffic before reporting ring-full.
-        Returns ``(token, lane)`` or None."""
+        leased lane whose breaker admits traffic before reporting
+        ring-full. Returns ``(token, lane)`` or None."""
         n = self.backend.lanes
         for i in range(n):
             idx = (self._rr + i) % n
+            if not self.backend.admits(idx):
+                continue
             breaker = self.breakers[idx]
             if not breaker.allow():
                 continue
@@ -224,6 +244,7 @@ class AsyncOffloadEngine:
                 self.batches_submitted += 1
                 self.batch_ops += 1
                 return tokens[0], idx
+            self.submit_rejections += 1
             # Ring-full is backpressure, not ill health: release the
             # half-open probe slot (if one was claimed) unconsumed.
             breaker.cancel_probe()
@@ -232,7 +253,8 @@ class AsyncOffloadEngine:
     def _any_lane_available(self) -> bool:
         """Non-mutating: could a submission be admitted right now (or
         as soon as ring space frees up)?"""
-        return any(b.available() for b in self.breakers)
+        return any(b.available() and self.backend.admits(i)
+                   for i, b in enumerate(self.breakers))
 
     def submit_backoff(self, attempts: int) -> float:
         """Exponential backoff before retry number ``attempts + 1``."""
@@ -385,6 +407,12 @@ class AsyncOffloadEngine:
         if not self.offloads(call):
             raise ValueError(
                 f"submit_async on non-offloadable op {call.op.kind}")
+        if self.admission_limit is not None and (
+                self._admission
+                or self.inflight.total >= self.admission_limit):
+            # At the concurrency cap (or behind ops already queued —
+            # FIFO order is part of the contract): bounded queueing.
+            return self._admission_enqueue(call, job)
         if self.batch_size > 1:
             return (yield from self._submit_batched(call, job, owner))
         submit_cost = self.backend.submit_cpu_cost(1)
@@ -392,6 +420,10 @@ class AsyncOffloadEngine:
         self.submit_time += submit_cost
         submitted = self._try_submit(call.op, call.compute, cookie=job)
         if submitted is None:
+            if self.admission_limit is not None:
+                # Ring backpressure with admission control on: queue
+                # instead of bouncing the job into a WANT_RETRY storm.
+                return self._admission_enqueue(call, job)
             job.submit_attempts = getattr(job, "submit_attempts", 0) + 1
             return False
         token, lane = submitted
@@ -485,6 +517,7 @@ class AsyncOffloadEngine:
                 for q, token in zip(chunk, tokens):
                     if token is None:
                         q.attempts += 1
+                        self.submit_rejections += 1
                         continue
                     self._batch.remove(q)
                     trace = getattr(q.job, "trace", None)
@@ -578,6 +611,129 @@ class AsyncOffloadEngine:
             jobs.append(job)
         return jobs
 
+    # -- admission control ------------------------------------------------------
+
+    @property
+    def admission_queued(self) -> int:
+        """Ops waiting in the admission queue (not yet offloaded)."""
+        return len(self._admission)
+
+    def _admission_enqueue(self, call: CryptoCall, job: object) -> bool:
+        """Park the op in the FIFO backpressure queue; always accepted
+        (the job pauses exactly as if the op were in flight)."""
+        now = self.core.sim.now
+        mark_paused = getattr(job, "mark_paused", None)
+        if mark_paused is not None:
+            mark_paused(call)
+        trace = getattr(job, "trace", None)
+        if trace is not None:
+            trace.mark("enqueued", now)
+        self._admission.append(_QueuedOp(call, job, now,
+                                         now + self.request_deadline))
+        self.admission_enqueued += 1
+        if len(self._admission) > self.admission_peak:
+            self.admission_peak = len(self._admission)
+        job.submit_attempts = 0
+        self._sample_admission(now)
+        return True
+
+    def admit_queued(self, owner: object) -> Generator:
+        """Admit queued ops into freed in-flight capacity, in FIFO
+        order, through the normal submit path (direct or coalescing).
+        Stops on ring backpressure. Returns ops admitted."""
+        admitted = 0
+        while (self._admission
+               and self.inflight.total < self.admission_limit):
+            q = self._admission[0]
+            state = getattr(q.job, "state", None)
+            if state is not None and state.name != "PAUSED":
+                # Rescued/aborted while queued; nothing to submit.
+                self._admission.popleft()
+                continue
+            if self.batch_size > 1:
+                self._admission.popleft()
+                self._batch.append(q)
+                self.inflight.increment(q.call.op.category)
+                self.admission_admitted += 1
+                admitted += 1
+                if len(self._batch) >= self.batch_size:
+                    yield from self._flush_batch(owner)
+                self._arm_flush_timer()
+                continue
+            # Unbatched: pop before consuming core time so the expiry
+            # paths cannot fail the op over while we submit it.
+            self._admission.popleft()
+            submit_cost = self.backend.submit_cpu_cost(1)
+            yield from self.core.consume(submit_cost, owner=owner)
+            self.submit_time += submit_cost
+            state = getattr(q.job, "state", None)
+            if state is not None and state.name != "PAUSED":
+                continue
+            submitted = self._try_submit(q.call.op, q.call.compute,
+                                         cookie=q.job)
+            if submitted is None:
+                q.attempts += 1
+                self._admission.appendleft(q)
+                break
+            token, lane = submitted
+            now = self.core.sim.now
+            trace = getattr(q.job, "trace", None)
+            if trace is not None:
+                trace.accept(now, self.backend.name, lane,
+                             attempts=q.attempts)
+            self._pending[token] = PendingOp(
+                call=q.call, job=q.job, lane=lane,
+                submitted_at=now, deadline=q.deadline)
+            self.inflight.increment(q.call.op.category)
+            self.ops_offloaded += 1
+            self.admission_admitted += 1
+            admitted += 1
+        if admitted:
+            self._sample_admission(self.core.sim.now)
+        return admitted
+
+    def _expire_admission(self, owner: object) -> Generator:
+        """Fail over admission-queued ops that can no longer make it:
+        deadline passed or no lane admitting traffic. Same freshness
+        guard as :meth:`_expire_queued` (the submitter may still be
+        arming the job's wait context). Returns jobs resumed."""
+        now = self.core.sim.now
+        jobs: List[object] = []
+        no_lane = not self._any_lane_available()
+        for q in list(self._admission):
+            if q not in self._admission:
+                continue
+            if now - q.enqueued_at < self.batch_timeout:
+                continue
+            timed_out = now >= q.deadline
+            if not (timed_out or no_lane):
+                continue
+            self._admission.remove(q)
+            if timed_out:
+                self.op_timeouts += 1
+            job = q.job
+            state = getattr(job, "state", None)
+            if state is not None and state.name != "PAUSED":
+                continue
+            exc = OffloadTimeout(
+                f"{q.call.op.kind.name} expired in the admission queue "
+                f"after {(now - q.enqueued_at) * 1e3:.1f}ms")
+            yield from self._deliver_failure(
+                PendingOp(call=q.call, job=job, lane=-1,
+                          submitted_at=q.enqueued_at, deadline=q.deadline),
+                owner, exc)
+            jobs.append(job)
+        if jobs:
+            self._sample_admission(now)
+        return jobs
+
+    def _sample_admission(self, now: float) -> None:
+        obs = getattr(self.core.sim, "obs", None)
+        if obs is not None and obs.enabled:
+            obs.util_sample(f"w{self.core.core_id}.admission", now,
+                            len(self._admission),
+                            capacity=self.admission_limit or 0)
+
     @property
     def queued_batch_ops(self) -> int:
         """Ops sitting in the coalescing queue awaiting a flush."""
@@ -603,9 +759,10 @@ class AsyncOffloadEngine:
 
     def is_pending(self, job: object) -> bool:
         """Is an accepted request for ``job`` still in flight (or
-        parked in the coalescing queue awaiting a flush)?"""
+        parked in the coalescing or admission queue)?"""
         return (any(p.job is job for p in self._pending.values())
-                or any(q.job is job for q in self._batch))
+                or any(q.job is job for q in self._batch)
+                or any(q.job is job for q in self._admission))
 
     def poll_and_dispatch(self, owner: object,
                           max_responses: Optional[int] = None
@@ -661,6 +818,9 @@ class AsyncOffloadEngine:
             if (len(self._batch) >= self.batch_size
                     or head_age >= self.batch_timeout):
                 yield from self._flush_batch(owner)
+        # Admit queued ops into the in-flight capacity the drain freed.
+        if self._admission:
+            yield from self.admit_queued(owner)
         return jobs
 
     def check_timeouts(self, owner: object) -> Generator:
@@ -697,6 +857,10 @@ class AsyncOffloadEngine:
             jobs.append(job)
         if self._batch:
             jobs.extend((yield from self._expire_queued(owner)))
+        if self._admission:
+            jobs.extend((yield from self._expire_admission(owner)))
+            if self._admission:
+                yield from self.admit_queued(owner)
         return jobs
 
     def fail_over_job(self, job: object, owner: object) -> Generator:
@@ -714,6 +878,9 @@ class AsyncOffloadEngine:
             if q.job is job:
                 self._batch.remove(q)
                 self.inflight.decrement(q.call.op.category)
+        for q in list(self._admission):
+            if q.job is job:
+                self._admission.remove(q)
         pending = PendingOp(call=call, job=job, lane=-1,
                             submitted_at=self.core.sim.now,
                             deadline=self.core.sim.now)

@@ -1,0 +1,412 @@
+"""Shared QAT instance pool with pluggable allocation policies.
+
+QTLS maps crypto instances to worker processes at startup (paper
+section 2.3: "each process/thread is assigned dedicated instance(s)").
+That mapping was hard-coded in the server master as a consecutive-chunk
+partition; this module lifts instance *ownership* into an explicit
+:class:`InstancePool` owning every allocated instance (one
+:class:`~repro.qat.driver.QatUserspaceDriver` per instance, shared by
+all workers) plus a pluggable :class:`AllocationPolicy` deciding which
+worker may submit to which instance at any moment:
+
+- ``static`` — today's consecutive-chunk partition. The default, and
+  bit-for-bit identical to the pre-pool wiring: each worker leases a
+  fixed chunk, pays no arbitration cost, and polls only its own
+  drivers.
+- ``shared`` — every worker leases every instance. Any worker can
+  submit into any ring, soaking up skewed load, but each submission
+  acquires the instance under a lock shared with the other workers and
+  pays :data:`ARBITRATION_CPU_COST` on top of the driver's submit cost
+  (the multi-worker-per-instance arbitration the paper avoids by
+  dedicating instances).
+- ``dynamic`` — starts from the static partition; a periodic rebalance
+  tick *migrates* instance leases from the least- to the most-pressured
+  worker (engine in-flight + admission-queue depth), with hysteresis
+  (minimum lease dwell time and a pressure-gap threshold) so leases
+  don't thrash.
+
+Workers see the pool through :class:`PooledQatBackend`, an
+:class:`~repro.offload.backend.OffloadBackend` whose *lane ids are
+global* (lane = driver index in the pool) but which only *admits*
+submissions on currently-leased lanes. Completions are routed by
+request ownership: whichever worker polls a ring, a response belongs
+to the worker that submitted the request and is delivered to that
+worker's inbox — so a lease migration never loses in-flight work.
+"""
+
+from __future__ import annotations
+
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Optional,
+                    Sequence, Tuple)
+
+from ..qat.driver import QatUserspaceDriver
+from .backend import Completion, OffloadBackend, OpSpec
+from .qat_backend import completion_from_response
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.kernel import Simulator
+
+__all__ = ["ARBITRATION_CPU_COST", "AllocationPolicy", "StaticPolicy",
+           "SharedPolicy", "DynamicPolicy", "POLICIES", "make_policy",
+           "InstancePool", "PooledQatBackend"]
+
+#: CPU seconds to acquire an instance that other workers may also be
+#: submitting to (userspace spinlock + cache-line bounce on the ring
+#: tail pointer). Charged per submit call under the ``shared`` policy;
+#: exclusive leases (``static``, ``dynamic``) submit lock-free.
+ARBITRATION_CPU_COST = 0.3e-6
+
+
+class AllocationPolicy:
+    """How pool instances are apportioned among workers over time."""
+
+    name = "abstract"
+    #: Extra CPU per submit call for lock/arbitration on instances the
+    #: worker does not exclusively own.
+    arbitration_cost = 0.0
+
+    def initial_leases(self, n_workers: int, n_lanes: int
+                       ) -> List[List[int]]:
+        """Per-worker ordered list of leased lane indices at startup."""
+        raise NotImplementedError
+
+    def rebalance(self, pool: "InstancePool", now: float
+                  ) -> List[Tuple[int, int, int]]:
+        """Lease migrations ``(lane, from_worker, to_worker)`` to apply
+        at this tick. Static policies return nothing."""
+        return []
+
+
+def _chunks(n_workers: int, n_lanes: int) -> List[List[int]]:
+    """Consecutive chunks of ``n_lanes // n_workers`` lanes per worker
+    — with round-robin device allocation each chunk spans distinct
+    endpoints (see ``tests/qat/test_endpoint_spread.py``)."""
+    if n_lanes % n_workers:
+        raise ValueError(
+            f"{n_lanes} instances do not partition over {n_workers} workers")
+    per = n_lanes // n_workers
+    return [list(range(w * per, (w + 1) * per)) for w in range(n_workers)]
+
+
+class StaticPolicy(AllocationPolicy):
+    """Fixed consecutive-chunk partition (the paper's dedicated
+    instances; pre-pool behaviour, bit-for-bit)."""
+
+    name = "static"
+
+    def initial_leases(self, n_workers: int, n_lanes: int
+                       ) -> List[List[int]]:
+        return _chunks(n_workers, n_lanes)
+
+
+class SharedPolicy(AllocationPolicy):
+    """Every worker leases every instance; submission pays the
+    arbitration cost."""
+
+    name = "shared"
+    arbitration_cost = ARBITRATION_CPU_COST
+
+    def initial_leases(self, n_workers: int, n_lanes: int
+                       ) -> List[List[int]]:
+        # Each worker's lease list starts at its static chunk and wraps
+        # around the whole pool, so lightly-loaded workers spread their
+        # round-robin submissions instead of all piling onto lane 0.
+        if n_lanes % n_workers:
+            raise ValueError(
+                f"{n_lanes} instances do not partition over "
+                f"{n_workers} workers")
+        per = n_lanes // n_workers
+        return [[(w * per + i) % n_lanes for i in range(n_lanes)]
+                for w in range(n_workers)]
+
+
+class DynamicPolicy(AllocationPolicy):
+    """Static start; leases migrate toward pressured workers.
+
+    One migration per tick at most: the least-pressured worker owning
+    a spare lease (> 1) donates its least-busy lane to the
+    most-pressured worker — and only when the pressure gap exceeds
+    ``pressure_gap`` and the lane has been settled for ``min_dwell``
+    seconds (hysteresis against thrash).
+    """
+
+    name = "dynamic"
+
+    def __init__(self, min_dwell: float = 1e-3,
+                 pressure_gap: float = 4.0) -> None:
+        if min_dwell <= 0:
+            raise ValueError("min_dwell must be positive")
+        if pressure_gap <= 0:
+            raise ValueError("pressure_gap must be positive")
+        self.min_dwell = min_dwell
+        self.pressure_gap = pressure_gap
+
+    def initial_leases(self, n_workers: int, n_lanes: int
+                       ) -> List[List[int]]:
+        return _chunks(n_workers, n_lanes)
+
+    def rebalance(self, pool: "InstancePool", now: float
+                  ) -> List[Tuple[int, int, int]]:
+        pressures = [pool.pressure(w) for w in range(pool.n_workers)]
+        hi, hi_p = 0, pressures[0]
+        for w in range(1, pool.n_workers):
+            if pressures[w] > hi_p:
+                hi, hi_p = w, pressures[w]
+        lo, lo_p = -1, None
+        for w in range(pool.n_workers):
+            if w == hi or len(pool.leases[w]) <= 1:
+                continue  # donors must keep at least one lease
+            if lo_p is None or pressures[w] < lo_p:
+                lo, lo_p = w, pressures[w]
+        if lo < 0 or hi_p - lo_p < self.pressure_gap:
+            return []
+        settled = [lane for lane in pool.leases[lo]
+                   if now - pool.lease_since(lane) >= self.min_dwell]
+        if not settled:
+            return []
+        lane = min(settled,
+                   key=lambda ln: (pool.drivers[ln].in_flight, ln))
+        return [(lane, lo, hi)]
+
+
+POLICIES: Dict[str, Callable[[], AllocationPolicy]] = {
+    "static": StaticPolicy,
+    "shared": SharedPolicy,
+    "dynamic": DynamicPolicy,
+}
+
+
+def make_policy(name: str, **kw: Any) -> AllocationPolicy:
+    try:
+        factory = POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown instance policy {name!r}; "
+            f"expected one of {sorted(POLICIES)}") from None
+    return factory(**kw)
+
+
+class InstancePool:
+    """Owns every allocated QAT instance (as userspace drivers) and the
+    worker -> instance lease map the policy maintains."""
+
+    def __init__(self, sim: "Simulator",
+                 drivers: Sequence[QatUserspaceDriver],
+                 n_workers: int, policy: AllocationPolicy) -> None:
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        self.sim = sim
+        self.drivers: List[QatUserspaceDriver] = list(drivers)
+        if not self.drivers:
+            raise ValueError("need at least one instance")
+        self.n_workers = n_workers
+        self.policy = policy
+        self.leases: List[List[int]] = policy.initial_leases(
+            n_workers, len(self.drivers))
+        self._lease_sets = [set(ls) for ls in self.leases]
+        self._lease_since: Dict[int, float] = {
+            lane: sim.now for lane in range(len(self.drivers))}
+        #: Request -> submitting worker, so completions polled by any
+        #: worker route back to their owner.
+        self._owner: Dict[Any, int] = {}
+        self._inboxes: List[List[Completion]] = [[] for _ in
+                                                 range(n_workers)]
+        self._pressure: List[Optional[Callable[[], float]]] = \
+            [None] * n_workers
+        self._backends: List[Optional[PooledQatBackend]] = \
+            [None] * n_workers
+        self.migrations = 0
+        self.routed_completions = 0
+        self.migration_log: List[Tuple[float, int, int, int]] = []
+
+    # -- worker-facing ------------------------------------------------------
+
+    def register(self, worker_id: int) -> "PooledQatBackend":
+        """The backend handle worker ``worker_id`` submits through."""
+        if not 0 <= worker_id < self.n_workers:
+            raise ValueError(f"worker {worker_id} out of range")
+        backend = self._backends[worker_id]
+        if backend is None:
+            backend = PooledQatBackend(self, worker_id)
+            self._backends[worker_id] = backend
+            self._sample_leases(worker_id)
+        return backend
+
+    def set_pressure_source(self, worker_id: int,
+                            fn: Callable[[], float]) -> None:
+        """Install the pressure metric (engine in-flight + admission
+        queue depth) the dynamic policy rebalances on."""
+        self._pressure[worker_id] = fn
+
+    def pressure(self, worker_id: int) -> float:
+        fn = self._pressure[worker_id]
+        return fn() if fn is not None else 0.0
+
+    def admits(self, worker_id: int, lane: int) -> bool:
+        return lane in self._lease_sets[worker_id]
+
+    def lease_since(self, lane: int) -> float:
+        return self._lease_since[lane]
+
+    # -- submission / completion routing ------------------------------------
+
+    def submit(self, worker_id: int, specs: List[OpSpec],
+               lane: int) -> List[Any]:
+        if not self.admits(worker_id, lane):
+            return [None] * len(specs)
+        drv = self.drivers[lane]
+        tokens = [drv.try_submit(spec.op, spec.compute, cookie=spec.cookie)
+                  for spec in specs]
+        for token in tokens:
+            if token is not None:
+                self._owner[token] = worker_id
+        return tokens
+
+    def poll(self, worker_id: int, start: int,
+             max_responses: Optional[int] = None) -> List[Completion]:
+        """Drain worker ``worker_id``'s inbox, then its leased rings
+        (round-robin from ``start`` within the lease list). Responses
+        owned by other workers are routed to their inboxes and do not
+        consume this worker's budget."""
+        out: List[Completion] = []
+        inbox = self._inboxes[worker_id]
+        while inbox and (max_responses is None
+                         or len(out) < max_responses):
+            out.append(inbox.pop(0))
+        lanes = self.leases[worker_id]
+        n = len(lanes)
+        for i in range(n):
+            budget = (None if max_responses is None
+                      else max_responses - len(out))
+            if budget == 0:
+                break
+            drv = self.drivers[lanes[(start + i) % n]]
+            for resp in drv.poll(budget):
+                completion = completion_from_response(resp)
+                owner = self._owner.pop(resp.request, worker_id)
+                if owner == worker_id:
+                    out.append(completion)
+                else:
+                    self._inboxes[owner].append(completion)
+                    self.routed_completions += 1
+        return out
+
+    def inbox_depth(self, worker_id: int) -> int:
+        return len(self._inboxes[worker_id])
+
+    # -- rebalancing --------------------------------------------------------
+
+    def rebalance(self, now: float) -> List[Tuple[int, int, int]]:
+        """Apply one policy rebalance tick; returns the migrations."""
+        moves = self.policy.rebalance(self, now)
+        for lane, src, dst in moves:
+            self.leases[src].remove(lane)
+            self._lease_sets[src].discard(lane)
+            self.leases[dst].append(lane)
+            self._lease_sets[dst].add(lane)
+            self._lease_since[lane] = now
+            self.migrations += 1
+            self.migration_log.append((now, lane, src, dst))
+            obs = getattr(self.sim, "obs", None)
+            if obs is not None and obs.enabled:
+                obs.event(f"lease-migrate lane{lane}", now,
+                          args={"lane": lane, "from": src, "to": dst})
+            self._sample_leases(src)
+            self._sample_leases(dst)
+        return moves
+
+    def _sample_leases(self, worker_id: int) -> None:
+        obs = getattr(self.sim, "obs", None)
+        if obs is not None and obs.enabled:
+            obs.util_sample(f"pool.w{worker_id}.leases", self.sim.now,
+                            len(self.leases[worker_id]),
+                            capacity=len(self.drivers))
+
+    # -- introspection ------------------------------------------------------
+
+    def lease_counts(self) -> List[int]:
+        return [len(ls) for ls in self.leases]
+
+    def snapshot(self) -> dict:
+        return {
+            "policy": self.policy.name,
+            "instances": len(self.drivers),
+            "workers": self.n_workers,
+            "leases": self.lease_counts(),
+            "migrations": self.migrations,
+            "routed_completions": self.routed_completions,
+        }
+
+
+class PooledQatBackend(OffloadBackend):
+    """One worker's view of the shared pool.
+
+    Lane ids are *global* driver indices, so engine breaker state stays
+    attached to the physical instance across lease migrations; lanes
+    outside the current lease set are simply not admitted
+    (:meth:`admits` / zero :meth:`capacity_hint`).
+    """
+
+    name = "qat"
+
+    def __init__(self, pool: InstancePool, worker_id: int) -> None:
+        self.pool = pool
+        self.worker_id = worker_id
+        self._poll_rr = 0
+
+    @property
+    def drivers(self) -> List[QatUserspaceDriver]:
+        """The currently-leased drivers (interrupt-mode arming and
+        tests iterate these)."""
+        return [self.pool.drivers[lane]
+                for lane in self.pool.leases[self.worker_id]]
+
+    @property
+    def lanes(self) -> int:
+        return len(self.pool.drivers)
+
+    def admits(self, lane: int) -> bool:
+        return self.pool.admits(self.worker_id, lane)
+
+    def submit_batch(self, specs: List[OpSpec], lane: int) -> List[Any]:
+        return self.pool.submit(self.worker_id, specs, lane)
+
+    def poll_completions(self, max_responses: Optional[int] = None
+                         ) -> List[Completion]:
+        start = self._poll_rr
+        self._poll_rr += 1
+        return self.pool.poll(self.worker_id, start, max_responses)
+
+    def submit_cpu_cost(self, n_ops: int) -> float:
+        return (self.pool.drivers[0].submit_cpu_cost(n_ops)
+                + self.pool.policy.arbitration_cost)
+
+    def poll_cpu_cost(self, n_responses: int) -> float:
+        return self.pool.drivers[0].poll_cpu_cost(n_responses)
+
+    def capacity_hint(self, lane: Optional[int] = None,
+                      category: Optional[Any] = None) -> int:
+        if lane is not None:
+            if not self.admits(lane):
+                return 0
+            lanes = [lane]
+        else:
+            lanes = self.pool.leases[self.worker_id]
+        return sum(max(0, ring.capacity - ring.in_flight)
+                   for ln in lanes
+                   for key, ring in
+                   self.pool.drivers[ln].instance.rings.items()
+                   if category is None or key == category.value)
+
+    def lane_stats(self, lane: int) -> QatUserspaceDriver:
+        return self.pool.drivers[lane]
+
+    def health(self) -> dict:
+        snap = self.pool.snapshot()
+        snap.update({
+            "backend": self.name,
+            "worker": self.worker_id,
+            "leased": len(self.pool.leases[self.worker_id]),
+            "capacity_hint": self.capacity_hint(),
+        })
+        return snap

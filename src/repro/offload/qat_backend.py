@@ -18,9 +18,25 @@ from typing import Any, List, Optional, Sequence
 
 from ..qat.driver import QatUserspaceDriver
 from ..qat.faults import QatHardwareError
+from ..qat.request import QatResponse
 from .backend import Completion, OffloadBackend, OpSpec
 
-__all__ = ["QatBackend"]
+__all__ = ["QatBackend", "completion_from_response"]
+
+
+def completion_from_response(resp: QatResponse) -> Completion:
+    """Wrap a driver-level :class:`~repro.qat.request.QatResponse` in
+    the backend-seam :class:`Completion` (shared by :class:`QatBackend`
+    and :class:`~repro.offload.pool.PooledQatBackend`)."""
+    return Completion(
+        token=resp.request, op=resp.request.op,
+        result=resp.result, error=resp.error,
+        transport_error=isinstance(resp.error, QatHardwareError),
+        device_marks={
+            "dequeued": resp.request.dequeued_at,
+            "serviced": resp.request.serviced_at,
+            "landed": resp.completed_at,
+        })
 
 
 class QatBackend(OffloadBackend):
@@ -56,16 +72,7 @@ class QatBackend(OffloadBackend):
                 break
             drv = self.drivers[(start + i) % n]
             for resp in drv.poll(budget):
-                out.append(Completion(
-                    token=resp.request, op=resp.request.op,
-                    result=resp.result, error=resp.error,
-                    transport_error=isinstance(resp.error,
-                                               QatHardwareError),
-                    device_marks={
-                        "dequeued": resp.request.dequeued_at,
-                        "serviced": resp.request.serviced_at,
-                        "landed": resp.completed_at,
-                    }))
+                out.append(completion_from_response(resp))
         return out
 
     def submit_cpu_cost(self, n_ops: int) -> float:

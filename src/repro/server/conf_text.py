@@ -155,6 +155,13 @@ def _parse_ssl_engine(block: Block) -> SslEngineConfig:
             if not isinstance(value, dict):
                 raise ConfError("remote_accelerator must be a block")
             _parse_remote_accelerator(value, engine)
+        elif directive == "offload_admission_limit":
+            limit = int(_one(value, directive))
+            if limit < 1:
+                raise ConfError(
+                    f"offload_admission_limit must be >= 1, got {limit} "
+                    "(omit the directive to disable admission control)")
+            engine.offload_admission_limit = limit
         else:
             raise ConfError(f"unknown ssl_engine directive {directive!r}")
     return engine
@@ -215,5 +222,19 @@ def _parse_qat_engine(block: Block, engine: SslEngineConfig) -> None:
             engine.qat_batch_size = int(_one(value, directive))
         elif directive == "qat_batch_timeout":
             engine.qat_batch_timeout = float(_one(value, directive))
+        elif directive == "qat_instance_policy":
+            policy = _one(value, directive)
+            if policy not in ("static", "shared", "dynamic"):
+                raise ConfError(
+                    f"unknown instance policy {policy!r}; expected "
+                    "static, shared or dynamic")
+            engine.qat_instance_policy = policy
+        elif directive == "qat_rebalance_interval":
+            interval = float(_one(value, directive))
+            if interval <= 0:
+                raise ConfError(
+                    f"qat_rebalance_interval must be positive, "
+                    f"got {interval}")
+            engine.qat_rebalance_interval = interval
         else:
             raise ConfError(f"unknown qat_engine directive {directive!r}")

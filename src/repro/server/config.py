@@ -40,6 +40,14 @@ class SslEngineConfig:
     #: multiple instances from different endpoints employ more
     #: computation engines).
     qat_instances_per_worker: int = 1
+    #: How the instance pool apportions instances among workers:
+    #: "static" (dedicated consecutive chunks, the paper's deployment),
+    #: "shared" (any worker submits to any instance, paying an
+    #: arbitration cost per submit) or "dynamic" (periodic rebalance
+    #: migrates leases toward pressured workers).
+    qat_instance_policy: str = "static"
+    #: Rebalance tick period for the dynamic policy.
+    qat_rebalance_interval: float = 2e-3
     #: Graceful-degradation knobs (robustness layer). The deadline is
     #: generous by default — worst-case legitimate queueing at card
     #: saturation is a few ms, so healthy runs never trip it.
@@ -58,6 +66,11 @@ class SslEngineConfig:
     #: Flush an under-filled batch this long after its oldest op was
     #: enqueued, so latency-sensitive handshakes never stall.
     qat_batch_timeout: float = 50e-6
+    #: Per-worker admission control (any backend): at most this many
+    #: concurrently offloaded ops; excess submissions wait in a FIFO
+    #: backpressure queue inside the engine instead of bouncing off
+    #: full rings. 0 disables (unbounded, the paper's behaviour).
+    offload_admission_limit: int = 0
     #: Remote-accelerator backend (offload_backend "remote"): service
     #: processor pool, per-worker credit window, link characteristics
     #: and a scale factor on the QAT-calibrated service times.
@@ -107,6 +120,18 @@ class SslEngineConfig:
             raise ValueError("heuristic thresholds must be >= 1")
         if self.qat_instances_per_worker < 1:
             raise ValueError("need at least one instance per worker")
+        if self.qat_instance_policy not in ("static", "shared", "dynamic"):
+            raise ValueError(
+                f"unknown instance policy {self.qat_instance_policy!r}")
+        if (self.qat_instance_policy != "static"
+                and self.qat_notify_mode == "interrupt"):
+            raise ValueError(
+                "interrupt notify mode requires the static instance "
+                "policy (IRQ callbacks are armed on dedicated instances)")
+        if self.qat_rebalance_interval <= 0:
+            raise ValueError("rebalance interval must be positive")
+        if self.offload_admission_limit < 0:
+            raise ValueError("admission limit must be >= 0 (0 disables)")
         if self.qat_request_deadline <= 0:
             raise ValueError("request deadline must be positive")
         if self.qat_watchdog_interval < 0:

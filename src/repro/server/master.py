@@ -10,11 +10,11 @@ from typing import List, Optional
 from ..core.costmodel import CostModel, default_cost_model
 from ..cpu.core import CpuTopology
 from ..crypto.provider import CryptoProvider
-from ..engine.qat_engine import QatEngine
 from ..engine.software import SoftwareEngine
 from ..net.link import Link
 from ..net.network import Network
 from ..offload.engine import AsyncOffloadEngine
+from ..offload.pool import DynamicPolicy, InstancePool, make_policy
 from ..offload.remote import RemoteAcceleratorBackend, RemoteCryptoService
 from ..qat.device import QatDevice
 from ..qat.driver import QatUserspaceDriver
@@ -78,15 +78,26 @@ class TlsServer:
         self.topology = CpuTopology(sim, config.worker_processes,
                                     ht_efficiency=ht_efficiency)
         per_worker = config.ssl_engine.qat_instances_per_worker
+        self.instance_pool: Optional[InstancePool] = None
         if config.uses_qat:
             flat = qat_device.allocate_instances(
                 config.worker_processes * per_worker)
-            # Consecutive chunks: with round-robin allocation each
-            # worker's instances land on different endpoints.
-            instances = [flat[i * per_worker:(i + 1) * per_worker]
-                         for i in range(config.worker_processes)]
-        else:
-            instances = [None] * config.worker_processes
+            eng_cfg = config.ssl_engine
+            if eng_cfg.qat_instance_policy == "dynamic":
+                # A lane must settle for at least one tick before it
+                # can migrate again (hysteresis against thrash).
+                policy = DynamicPolicy(
+                    min_dwell=eng_cfg.qat_rebalance_interval)
+            else:
+                policy = make_policy(eng_cfg.qat_instance_policy)
+            # The pool owns one userspace driver per instance; the
+            # policy's initial leases reproduce the historical
+            # consecutive-chunk partition (with round-robin allocation
+            # each worker's chunk lands on different endpoints).
+            self.instance_pool = InstancePool(
+                sim, [QatUserspaceDriver(inst) for inst in flat],
+                config.worker_processes, policy)
+        self._rebalance_proc_running = False
 
         # One shared network-attached crypto service per deployment
         # (offload_backend "remote"): all workers' RPC batches funnel
@@ -114,7 +125,7 @@ class TlsServer:
             core = self.topology[i]
             worker_rng = rng.stream(f"worker-{i}")
 
-            def make_ctx(worker, core=core, instance=instances[i],
+            def make_ctx(worker, core=core, worker_id=i,
                          worker_rng=worker_rng):
                 tls_cfg = TlsServerConfig(
                     provider=provider, suites=suites, rng=worker_rng,
@@ -136,12 +147,13 @@ class TlsServer:
                         eng_cfg.qat_breaker_reset_timeout),
                     software_fallback=eng_cfg.qat_software_fallback,
                     batch_size=eng_cfg.qat_batch_size,
-                    batch_timeout=eng_cfg.qat_batch_timeout)
+                    batch_timeout=eng_cfg.qat_batch_timeout,
+                    admission_limit=(
+                        eng_cfg.offload_admission_limit or None))
                 if config.uses_qat:
-                    drivers = [QatUserspaceDriver(inst)
-                               for inst in instance]
-                    engine = QatEngine(drivers, core, self.cost_model,
-                                       **engine_kw)
+                    backend = self.instance_pool.register(worker_id)
+                    engine = AsyncOffloadEngine(
+                        backend, core, self.cost_model, **engine_kw)
                 elif config.uses_remote:
                     backend = RemoteAcceleratorBackend(
                         sim, self.remote_service,
@@ -175,8 +187,35 @@ class TlsServer:
     def start(self) -> None:
         for w in self.workers:
             w.start()
+        pool = self.instance_pool
+        if pool is not None:
+            for i, w in enumerate(self.workers):
+                engine = w.engine
+
+                def pressure(engine=engine) -> float:
+                    return (engine.inflight.total
+                            + engine.admission_queued)
+
+                pool.set_pressure_source(i, pressure)
+            if (isinstance(pool.policy, DynamicPolicy)
+                    and not self._rebalance_proc_running):
+                self._rebalance_proc_running = True
+                self.sim.process(self._rebalance_loop(),
+                                 name="pool-rebalance")
+
+    def _rebalance_loop(self):
+        interval = self.config.ssl_engine.qat_rebalance_interval
+        try:
+            while self._rebalance_proc_running:
+                yield self.sim.timeout(interval)
+                if not self._rebalance_proc_running:
+                    return
+                self.instance_pool.rebalance(self.sim.now)
+        finally:
+            self._rebalance_proc_running = False
 
     def stop(self) -> None:
+        self._rebalance_proc_running = False
         for w in self.workers:
             w.stop()
 

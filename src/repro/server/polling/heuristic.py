@@ -47,9 +47,19 @@ class HeuristicPoller:
         if total == 0:
             return False
         threshold = self.asym_threshold if r.asym > 0 else self.sym_threshold
+        # Admission control caps the in-flight population: Rtotal can
+        # never grow past the limit, so both constraints saturate there
+        # (otherwise a limit below the threshold would never poll while
+        # hundreds of connections wait in the admission queue).
+        limit = self.engine.admission_limit
+        if limit is not None:
+            threshold = min(threshold, limit)
         if total >= threshold:
             return True
-        return total >= self.stub_status.tls_active
+        bound = self.stub_status.tls_active
+        if limit is not None:
+            bound = min(bound, limit)
+        return total >= bound
 
     def check(self, owner: object) -> Generator:
         """Evaluate constraints; poll if either is met. Returns the

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from ...engine.qat_engine import QatEngine
+from ...offload.engine import AsyncOffloadEngine
 
 if TYPE_CHECKING:  # pragma: no cover
     from ...sim.kernel import Simulator
@@ -35,7 +35,7 @@ COALESCE_WINDOW = 2e-6
 class InterruptRetriever:
     """Retrieves QAT responses via simulated hardware interrupts."""
 
-    def __init__(self, sim: "Simulator", engine: QatEngine,
+    def __init__(self, sim: "Simulator", engine: AsyncOffloadEngine,
                  name: str = "irq", wake=None) -> None:
         self.sim = sim
         self.engine = engine
@@ -46,11 +46,13 @@ class InterruptRetriever:
         self._armed = False
 
     def arm(self) -> None:
-        """Hook the instance's rings."""
+        """Hook the rings of every instance this engine submits to
+        (dedicated instances — the static policy enforces this)."""
         if self._armed:
             raise RuntimeError("interrupt retriever already armed")
         self._armed = True
-        self.engine.driver.instance.set_response_callback(self._on_response)
+        for drv in self.engine.backend.drivers:
+            drv.instance.set_response_callback(self._on_response)
 
     def _on_response(self, _ring) -> None:
         if self._pending:

@@ -33,6 +33,17 @@ class StubStatus:
         self.backend = ""
         self.batches_submitted = 0
         self.batch_ops = 0
+        # Instance-pool / admission-control section: refreshed by the
+        # worker from the pool and engine counters. ``pool_policy``
+        # empty = section hidden (no pool and no admission control).
+        self.pool_policy = ""
+        self.pool_leases = 0
+        self.pool_migrations = 0
+        self.admission_limit = 0
+        self.admission_queued = 0
+        self.admission_peak = 0
+        self.admission_admitted = 0
+        self._pool_section = False
         # Request-tracing section: lifecycle counters published by the
         # worker from the simulation's RequestTracer (all zero when
         # tracing is off).
@@ -99,6 +110,19 @@ class StubStatus:
         return (self.batch_ops / self.batches_submitted
                 if self.batches_submitted else 0.0)
 
+    def update_pool(self, *, policy: str, leases: int, migrations: int,
+                    admission_limit: int, admission_queued: int,
+                    admission_peak: int, admission_admitted: int) -> None:
+        """Refresh the instance-pool / admission-control counters."""
+        self._pool_section = True
+        self.pool_policy = policy
+        self.pool_leases = leases
+        self.pool_migrations = migrations
+        self.admission_limit = admission_limit
+        self.admission_queued = admission_queued
+        self.admission_peak = admission_peak
+        self.admission_admitted = admission_admitted
+
     def update_trace(self, *, trace_ops: int, trace_open: int,
                      trace_spans: int, trace_sampled_out: int) -> None:
         """Refresh the request-tracing counters (worker watchdog /
@@ -131,6 +155,14 @@ class StubStatus:
             f"open_breakers {self.open_breakers} "
             f"submit_failures {self.submit_failures} "
             f"watchdog_rescues {self.watchdog_rescues}\n"
+            + (f"instance pool: policy {self.pool_policy or 'none'} "
+               f"leases {self.pool_leases} "
+               f"migrations {self.pool_migrations} "
+               f"admission limit {self.admission_limit} "
+               f"queued {self.admission_queued} "
+               f"peak {self.admission_peak} "
+               f"admitted {self.admission_admitted}\n"
+               if self._pool_section else "")
             + (f"trace: ops {self.trace_ops} open {self.trace_open} "
                f"spans {self.trace_spans} "
                f"sampled_out {self.trace_sampled_out}\n"

@@ -104,9 +104,13 @@ class Worker:
         #: Submission batching active: flush the engine's coalescing
         #: queue at the end of every event-loop pass.
         self._batching = False
+        #: Admission control active: admit queued ops at the end of
+        #: every event-loop pass (into capacity completions freed).
+        self._admission_on = False
         eng_cfg = config.ssl_engine
         if config.async_offload and isinstance(self.engine, AsyncOffloadEngine):
             self._batching = self.engine.batch_size > 1
+            self._admission_on = self.engine.admission_limit is not None
             out_of_loop = (eng_cfg.qat_notify_mode == "interrupt"
                            or eng_cfg.qat_poll_mode == "timer"
                            # The watchdog also dispatches outside the
@@ -185,6 +189,8 @@ class Worker:
             # cross-pass latency.
             if (self._batching and self.engine.queued_batch_ops):
                 yield from self.engine.flush_batch(owner=self)
+            if self._admission_on and self.engine.admission_queued:
+                yield from self.engine.admit_queued(owner=self)
 
     def _loop_timeout(self) -> Optional[float]:
         if self.async_queue:
@@ -194,9 +200,11 @@ class Worker:
             # Sleep only until the earliest backed-off retry is due.
             due = min(c.retry_not_before for c in self.retries)
             timeout = max(0.0, due - self.sim.now)
-        if self.poller is not None and self.engine.inflight.total > 0:
-            # Keep the loop executing while requests are in flight
-            # instead of sleep-waiting (section 3.4).
+        if self.poller is not None and (
+                self.engine.inflight.total > 0
+                or self.engine.admission_queued > 0):
+            # Keep the loop executing while requests are in flight (or
+            # waiting on admission) instead of sleep-waiting (3.4).
             return (SPIN_TIMEOUT if timeout is None
                     else min(timeout, SPIN_TIMEOUT))
         return timeout  # None: block until an event arrives
@@ -214,7 +222,8 @@ class Worker:
         while self.running:
             yield self.sim.timeout(interval)
             if (self.poller.polls == last_polls
-                    and self.engine.inflight.total > 0):
+                    and (self.engine.inflight.total > 0
+                         or self.engine.admission_queued > 0)):
                 yield from self.engine.poll_and_dispatch(owner="failover")
             last_polls = self.poller.polls
 
@@ -268,6 +277,17 @@ class Worker:
             backend=eng.backend.name,
             batches_submitted=eng.batches_submitted,
             batch_ops=eng.batch_ops)
+        pool = getattr(eng.backend, "pool", None)
+        if pool is not None or eng.admission_limit is not None:
+            self.stub_status.update_pool(
+                policy=(pool.policy.name if pool is not None else ""),
+                leases=(len(pool.leases[eng.backend.worker_id])
+                        if pool is not None else 0),
+                migrations=(pool.migrations if pool is not None else 0),
+                admission_limit=eng.admission_limit or 0,
+                admission_queued=eng.admission_queued,
+                admission_peak=eng.admission_peak,
+                admission_admitted=eng.admission_admitted)
         obs = getattr(self.sim, "obs", None)
         if obs is not None and obs.enabled:
             self.stub_status.update_trace(**obs.snapshot_counts())

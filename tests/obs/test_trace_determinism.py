@@ -13,8 +13,8 @@ from repro.obs import export_chrome_trace, validate_chrome_trace
 SMOKE = Windows(warmup=0.02, measure=0.04)
 
 
-def _export(path, *, seed=7, **kw):
-    bed = Testbed("QTLS", workers=1, seed=seed, trace=True, **kw)
+def _export(path, *, seed=7, workers=1, **kw):
+    bed = Testbed("QTLS", workers=workers, seed=seed, trace=True, **kw)
     bed.add_s_time_fleet(n_clients=40)
     bed.run_window(SMOKE)
     n = export_chrome_trace(bed.tracer, str(path))
@@ -25,7 +25,12 @@ def _export(path, *, seed=7, **kw):
     {},                              # unbatched QTLS (the backends smoke)
     {"qat_batch_size": 8},           # coalesced submission
     {"offload_backend": "remote"},   # RPC backend
-], ids=["qat", "qat-batched", "remote"])
+    {"workers": 2, "qat_instance_policy": "shared"},
+    {"workers": 2, "qat_instance_policy": "dynamic",
+     "qat_instances_per_worker": 2},
+    {"offload_admission_limit": 16},
+], ids=["qat", "qat-batched", "remote", "pool-shared", "pool-dynamic",
+        "admission"])
 def test_same_seed_exports_are_byte_identical(tmp_path, kw):
     bed_a, n_a = _export(tmp_path / "a.json", **kw)
     bed_b, n_b = _export(tmp_path / "b.json", **kw)

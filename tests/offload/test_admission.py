@@ -1,0 +1,117 @@
+"""Per-worker admission control at the engine seam: once the in-flight
+population hits ``admission_limit``, further ops wait in a FIFO
+backpressure queue instead of bouncing off full rings, and freed
+capacity re-admits them in arrival order."""
+
+import pytest
+
+from repro.testing import make_job, make_qat_env, rsa_call
+
+
+def submit_all(env, pairs):
+    """Drive submit_async for each (call, job) pair inside a sim
+    process; returns the acceptance flags."""
+    oks = []
+
+    def proc(sim):
+        for call, job in pairs:
+            ok = yield from env.engine.submit_async(call, job, owner="w")
+            oks.append(ok)
+
+    p = env.sim.process(proc(env.sim))
+    env.sim.run(until=p)
+    return oks
+
+
+def poll_once(env):
+    """One poll_and_dispatch pass (which also drains the admission
+    queue into freed capacity); runs the sim to quiescence afterwards
+    so accepted ops complete on the device."""
+    def proc(sim):
+        jobs = yield from env.engine.poll_and_dispatch(owner="w")
+        return jobs
+
+    p = env.sim.process(proc(env.sim))
+    env.sim.run()
+    return p.value
+
+
+def test_limit_validation():
+    with pytest.raises(ValueError, match="admission limit"):
+        make_qat_env(admission_limit=0)
+
+
+def test_ops_beyond_the_cap_queue_instead_of_submitting():
+    env = make_qat_env(admission_limit=2)
+    pairs = [(c, make_job(paused_on=c))
+             for c in (rsa_call(f"r{i}") for i in range(4))]
+    # Every submission is accepted — the overflow just queues.
+    assert submit_all(env, pairs) == [True] * 4
+    eng = env.engine
+    assert eng.ops_offloaded == 2
+    assert eng.admission_queued == 2
+    assert eng.admission_enqueued == 2
+    assert eng.admission_peak == 2
+    # Queued ops are NOT on the accelerator and must not count as
+    # in flight (they would block their own admission).
+    assert eng.inflight.total == 2
+    assert env.drivers[0].submitted == 2
+
+
+def test_freed_capacity_admits_in_fifo_order():
+    env = make_qat_env(admission_limit=1)
+    calls = [rsa_call(f"r{i}") for i in range(3)]
+    jobs = [make_job(paused_on=c) for c in calls]
+    assert submit_all(env, list(zip(calls, jobs))) == [True] * 3
+    eng = env.engine
+    assert eng.admission_queued == 2
+    env.sim.run()  # let the in-flight op land before the first poll
+
+    delivered = []
+    for _ in range(3):
+        delivered.extend(poll_once(env))
+    # Completion order matches submission order: each freed slot
+    # admitted the head of the queue, never the newest arrival.
+    assert delivered == jobs
+    assert eng.admission_queued == 0
+    assert eng.admission_admitted == 2
+    assert eng.ops_offloaded == 3
+    assert eng.responses_dispatched == 3
+
+
+def test_queue_expiry_fails_over_to_software():
+    env = make_qat_env(admission_limit=1, request_deadline=2e-3)
+    calls = [rsa_call("fast"), rsa_call("slow")]
+    jobs = [make_job(paused_on=c) for c in calls]
+    assert submit_all(env, list(zip(calls, jobs))) == [True] * 2
+    eng = env.engine
+    assert eng.admission_queued == 1
+
+    # Nobody polls: both the in-flight op and the queued op outlive
+    # the deadline.
+    env.sim.run(until=0.01)
+
+    def proc(sim):
+        jobs = yield from eng.check_timeouts(owner="w")
+        return jobs
+
+    p = env.sim.process(proc(env.sim))
+    env.sim.run()
+    assert eng.admission_queued == 0
+    assert eng.op_timeouts == 2
+    # Software fallback completed both on the CPU; the jobs resumed.
+    assert eng.ops_fallback == 2
+    assert set(p.value) == set(jobs)
+
+
+def test_admission_applies_before_ring_pressure():
+    # Limit far below the ring capacity: the ring never fills, so no
+    # submission is ever rejected — overload degrades into queueing.
+    env = make_qat_env(admission_limit=4)
+    pairs = [(c, make_job(paused_on=c))
+             for c in (rsa_call(f"r{i}") for i in range(32))]
+    assert all(submit_all(env, pairs))
+    eng = env.engine
+    assert eng.submit_failures == 0
+    assert eng.admission_queued == 28
+    assert env.drivers[0].in_flight <= 4

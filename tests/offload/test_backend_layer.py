@@ -21,11 +21,11 @@ def make_env(n_instances=1, ring_capacity=64, **engine_kw):
 # -- error types ---------------------------------------------------------------
 
 def test_ring_full_is_one_type_across_layers():
-    from repro.engine import qat_engine
+    import repro.engine
+    import repro.offload as offload
     from repro.offload import errors
     from repro.qat import rings
-    import repro.offload as offload
-    assert (rings.RingFull is errors.RingFull is qat_engine.RingFull
+    assert (rings.RingFull is errors.RingFull is repro.engine.RingFull
             is offload.RingFull)
     assert issubclass(errors.RingFull, errors.SubmitError)
 

@@ -72,7 +72,21 @@ def test_window_exhaustion_rejects_like_a_full_ring():
     assert tokens[0] is not None and tokens[1] is None
     assert backend.stats.submit_failures == 1
     assert backend.capacity_hint() == 0
-    assert eng.submit_failures == 1  # surfaced through the engine
+
+    # Driven through the engine, a rejected submit also shows up in the
+    # engine-local counter (per-worker: pooled lanes are shared, so the
+    # engine no longer sums lane counters).
+    job = _job()
+    job.mark_paused(rsa_call("r2"))
+
+    def proc(sim):
+        ok = yield from eng.submit_async(rsa_call("r2"), job, owner="w")
+        assert not ok
+
+    sim.process(proc(sim))
+    sim.run()
+    assert eng.submit_failures == 1
+    assert job.submit_attempts == 1
 
 
 def test_one_rpc_per_batch():

@@ -96,3 +96,47 @@ def test_malformed_rejected(bad, msg):
 def test_validation_applies():
     with pytest.raises(ValueError):
         server_config_from_text("worker_processes 0;")
+
+
+def test_pool_and_admission_directives():
+    cfg = server_config_from_text(
+        "ssl_engine { use qat_engine; offload_admission_limit 16; "
+        "qat_engine { qat_instance_policy dynamic; "
+        "qat_rebalance_interval 0.002; } }")
+    assert cfg.ssl_engine.qat_instance_policy == "dynamic"
+    assert cfg.ssl_engine.qat_rebalance_interval == pytest.approx(2e-3)
+    assert cfg.ssl_engine.offload_admission_limit == 16
+
+
+def test_pool_directive_defaults():
+    cfg = server_config_from_text("ssl_engine { use qat_engine; }")
+    assert cfg.ssl_engine.qat_instance_policy == "static"
+    assert cfg.ssl_engine.offload_admission_limit == 0  # unbounded
+
+
+@pytest.mark.parametrize("bad,msg", [
+    ("ssl_engine { use qat_engine; "
+     "qat_engine { qat_instance_policy bogus; } }",
+     "unknown instance policy"),
+    ("ssl_engine { use qat_engine; offload_admission_limit 0; }",
+     "offload_admission_limit must be >= 1"),
+    ("ssl_engine { use qat_engine; offload_admission_limit -3; }",
+     "offload_admission_limit must be >= 1"),
+    ("ssl_engine { use qat_engine; "
+     "qat_engine { qat_rebalance_interval 0; } }",
+     "qat_rebalance_interval must be positive"),
+    ("ssl_engine { use qat_engine; "
+     "qat_engine { qat_rebalance_interval -0.5; } }",
+     "qat_rebalance_interval must be positive"),
+])
+def test_pool_directives_rejected(bad, msg):
+    with pytest.raises(ConfError, match=msg):
+        server_config_from_text(bad)
+
+
+def test_interrupt_notify_requires_static_policy():
+    # Cross-field validation happens at the config layer, after parse.
+    with pytest.raises(ValueError, match="static instance"):
+        server_config_from_text(
+            "ssl_engine { use qat_engine; qat_engine { "
+            "qat_notify_mode interrupt; qat_instance_policy shared; } }")

@@ -6,7 +6,8 @@ unsent submissions)."""
 from repro.core.costmodel import CostModel
 from repro.cpu import Core
 from repro.crypto.ops import CryptoOp, CryptoOpKind, OpCategory
-from repro.engine import QatEngine
+from repro.offload.engine import AsyncOffloadEngine
+from repro.offload.qat_backend import QatBackend
 from repro.qat import QatDevice, QatUserspaceDriver
 from repro.server import StubStatus
 from repro.server.polling.heuristic import HeuristicPoller
@@ -18,7 +19,8 @@ from repro.tls.actions import CryptoCall
 def make_engine(sim, **kw):
     dev = QatDevice(sim, n_endpoints=1)
     drv = QatUserspaceDriver(dev.allocate_instances(1)[0])
-    return QatEngine(drv, Core(sim, 0), CostModel(), **kw)
+    return AsyncOffloadEngine(QatBackend([drv]), Core(sim, 0),
+                              CostModel(), **kw)
 
 
 def submit_n(sim, engine, n, kind=CryptoOpKind.RSA_PRIV):
@@ -91,13 +93,13 @@ def test_timeliness_branch_flushes_queued_batch():
     submit_n(sim, engine, 2)
     # Both ops coalesced, none on the ring yet — but the in-flight
     # accounting sees them, so the timeliness constraint fires.
-    assert engine.driver.submitted == 0
+    assert engine.backend.drivers[0].submitted == 0
     assert engine.queued_batch_ops == 2
     assert poller.should_poll()
 
     def proc(sim):
         yield from poller.check("w")  # flushes, then polls (empty)
-        assert engine.driver.submitted == 2
+        assert engine.backend.drivers[0].submitted == 2
         assert engine.queued_batch_ops == 0
         yield sim.timeout(2e-3)  # responses land
         jobs = yield from poller.check("w")
@@ -119,3 +121,23 @@ def test_batching_keeps_inflight_accounting_for_heuristic():
     assert engine.inflight.total == 2
     assert engine.inflight.asym == 2
     assert engine.inflight._counts[OpCategory.ASYM] == 2
+
+
+def test_admission_limit_caps_both_thresholds():
+    """With admission control on, Rtotal can never exceed the limit —
+    a limit below the efficiency threshold (and below TCactive) must
+    still poll once the in-flight population saturates the cap, or the
+    worker deadlocks with hundreds of connections queued."""
+    sim = Simulator()
+    engine = make_engine(sim, admission_limit=4)
+    stub = StubStatus()
+    for _ in range(300):
+        stub.on_accept()
+    poller = HeuristicPoller(engine, stub, asym_threshold=48,
+                             sym_threshold=24)
+    submit_n(sim, engine, 3, kind=CryptoOpKind.RSA_PRIV)
+    assert not poller.should_poll()  # below the cap: thresholds as-is
+    submit_n(sim, engine, 8, kind=CryptoOpKind.RSA_PRIV)
+    assert engine.inflight.total == 4
+    assert engine.admission_queued == 7
+    assert poller.should_poll()

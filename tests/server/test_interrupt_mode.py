@@ -6,7 +6,8 @@ import pytest
 from repro.core.costmodel import CostModel
 from repro.cpu import Core
 from repro.crypto.ops import CryptoOp, CryptoOpKind
-from repro.engine import QatEngine
+from repro.offload.engine import AsyncOffloadEngine
+from repro.offload.qat_backend import QatBackend
 from repro.qat import QatDevice, QatUserspaceDriver
 from repro.server.polling.interrupt_mode import InterruptRetriever
 from repro.sim import Simulator
@@ -19,7 +20,7 @@ def make_env():
     core = Core(sim, 0)
     dev = QatDevice(sim, n_endpoints=1)
     drv = QatUserspaceDriver(dev.allocate_instances(1)[0])
-    eng = QatEngine(drv, core, CostModel())
+    eng = AsyncOffloadEngine(QatBackend([drv]), core, CostModel())
     return sim, core, eng
 
 
@@ -40,7 +41,8 @@ def submit_one(sim, eng, result="r"):
 def test_ring_response_callback_fires():
     sim, core, eng = make_env()
     hits = []
-    eng.driver.instance.set_response_callback(lambda ring: hits.append(ring))
+    eng.backend.drivers[0].instance.set_response_callback(
+        lambda ring: hits.append(ring))
     submit_one(sim, eng)
     sim.run()
     assert len(hits) == 1

@@ -5,7 +5,8 @@ import pytest
 from repro.core.costmodel import CostModel
 from repro.cpu import Core
 from repro.crypto.ops import CryptoOp, CryptoOpKind
-from repro.engine import QatEngine
+from repro.offload.engine import AsyncOffloadEngine
+from repro.offload.qat_backend import QatBackend
 from repro.qat import QatDevice, QatUserspaceDriver
 from repro.server import AsyncEventQueue, StubStatus
 from repro.server.polling.heuristic import HeuristicPoller
@@ -57,7 +58,7 @@ def test_async_queue_fifo():
 def make_engine(sim):
     dev = QatDevice(sim, n_endpoints=1)
     drv = QatUserspaceDriver(dev.allocate_instances(1)[0])
-    return QatEngine(drv, Core(sim, 0), CostModel())
+    return AsyncOffloadEngine(QatBackend([drv]), Core(sim, 0), CostModel())
 
 
 def submit_n(sim, engine, n, kind=CryptoOpKind.RSA_PRIV):
@@ -174,8 +175,9 @@ def test_timer_thread_context_switches_charged():
     sim = Simulator()
     core = Core(sim, 0)
     dev = QatDevice(sim, n_endpoints=1)
-    engine = QatEngine(QatUserspaceDriver(dev.allocate_instances(1)[0]),
-                       core, CostModel())
+    engine = AsyncOffloadEngine(
+        QatBackend([QatUserspaceDriver(dev.allocate_instances(1)[0])]),
+        core, CostModel())
     thread = TimerPollingThread(sim, engine, interval=10e-6)
     thread.start()
 

@@ -8,7 +8,9 @@ import numpy as np
 
 from repro.core.costmodel import CostModel
 from repro.cpu import Core
-from repro.engine import QatEngine, SoftwareEngine
+from repro.engine.software import SoftwareEngine
+from repro.offload.engine import AsyncOffloadEngine
+from repro.offload.qat_backend import QatBackend
 from repro.qat import QatDevice, QatUserspaceDriver
 from repro.sim import Simulator
 from repro.ssl import SslConnection, SslContext, SslStatus
@@ -54,7 +56,8 @@ class Env:
                                     ring_capacity=ring_capacity)
             inst = self.device.allocate_instances(1)[0]
             self.driver = QatUserspaceDriver(inst)
-            self.engine = QatEngine(self.driver, self.core, self.cost_model)
+            self.engine = AsyncOffloadEngine(QatBackend([self.driver]),
+                                             self.core, self.cost_model)
 
         version = (ProtocolVersion.TLS13 if suite is TLS13_ECDHE_RSA
                    else ProtocolVersion.TLS12)
