@@ -1,0 +1,57 @@
+"""Worker lifecycle supervision: crash respawn + graceful reload.
+
+Runnable standalone for CI smoke checks::
+
+    PYTHONPATH=src python benchmarks/bench_lifecycle.py --smoke
+
+exits non-zero if any lifecycle check fails. Also writes a
+machine-readable ``BENCH_lifecycle.json`` (crash-dip depth, recovery
+ratio, reload error counts) so the robustness trajectory is tracked
+across PRs; the payload is deterministic, so two runs with the same
+seed must produce byte-identical files (CI diffs them).
+"""
+
+from repro.bench.experiments import run_lifecycle
+
+
+def test_lifecycle(run_experiment):
+    run_experiment(run_lifecycle)
+
+
+def summary_payload(result) -> dict:
+    """Metrics per scenario from the result rows, in a stable
+    machine-readable shape."""
+    payload: dict = {"experiment": result.exp_id, "scenarios": {}}
+    for row in result.rows:
+        scen = payload["scenarios"].setdefault(row["scenario"], {})
+        scen[row["metric"]] = row["value"]
+    crash = payload["scenarios"].get("crash", {})
+    pre = crash.get("pre_crash_cps", 0.0)
+    if pre:
+        crash["dip_depth"] = 1.0 - crash.get("dip_cps", 0.0) / pre
+        crash["recovery_ratio"] = crash.get("recovery_cps", 0.0) / pre
+    payload["checks_pass"] = result.all_checks_pass
+    return payload
+
+
+if __name__ == "__main__":
+    import argparse
+    import json
+    import sys
+
+    parser = argparse.ArgumentParser(
+        description="worker lifecycle supervision experiment")
+    parser.add_argument("--smoke", action="store_true",
+                        help="compressed timeline (CI)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", default="BENCH_lifecycle.json",
+                        help="machine-readable summary path")
+    args = parser.parse_args()
+
+    result = run_lifecycle(quick=True, seed=args.seed, smoke=args.smoke)
+    print(result.render())
+    with open(args.out, "w") as fh:
+        json.dump(summary_payload(result), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    sys.exit(0 if result.all_checks_pass else 1)

@@ -66,7 +66,17 @@ class Core:
         if cost < 0:
             raise ValueError("negative CPU cost")
         req = self._lock.request()
-        yield req
+        try:
+            yield req
+        except BaseException:
+            # Interrupted (e.g. the worker process was killed) while
+            # parked on — or just granted — the core lock. Hand the
+            # slot back so sharers of this core don't wedge forever.
+            if req.triggered:
+                self._lock.release()
+            else:
+                req.cancel()
+            raise
         try:
             duration = cost / self.speed
             if owner is not None and self._last_owner is not None \

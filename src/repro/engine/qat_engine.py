@@ -51,7 +51,8 @@ class QatEngine(AsyncOffloadEngine, Engine):
                  software_fallback: bool = True,
                  batch_size: int = 1,
                  batch_timeout: float = 50e-6,
-                 admission_limit: Optional[int] = None) -> None:
+                 admission_limit: Optional[int] = None,
+                 backoff_jitter_seed: Optional[int] = None) -> None:
         if isinstance(driver, QatUserspaceDriver):
             drivers = [driver]
         else:
@@ -69,7 +70,8 @@ class QatEngine(AsyncOffloadEngine, Engine):
             software_fallback=software_fallback,
             batch_size=batch_size,
             batch_timeout=batch_timeout,
-            admission_limit=admission_limit)
+            admission_limit=admission_limit,
+            backoff_jitter_seed=backoff_jitter_seed)
 
     @property
     def drivers(self) -> List[QatUserspaceDriver]:

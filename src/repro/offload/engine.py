@@ -61,7 +61,22 @@ from .errors import OffloadTimeout
 from .health import CircuitBreaker, PendingOp
 from .inflight import InflightCounters
 
-__all__ = ["AsyncOffloadEngine", "ALGORITHM_GROUPS"]
+__all__ = ["AsyncOffloadEngine", "ALGORITHM_GROUPS",
+           "backoff_jitter_fraction"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def backoff_jitter_fraction(seed: int, attempts: int) -> float:
+    """Deterministic jitter in ``[0, 1)``: a splitmix64-style hash of
+    ``(seed, attempts)``. Pure — no RNG state is consumed, so replays
+    stay bit-for-bit while engines seeded differently desynchronize
+    their retry instants."""
+    x = (seed + attempts * 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return (x >> 11) / float(1 << 53)
 
 #: ``default_algorithm`` groups accepted by the ssl_engine framework
 #: (appendix A.7): which op kinds each group enables for offload.
@@ -111,7 +126,8 @@ class AsyncOffloadEngine:
                  software_fallback: bool = True,
                  batch_size: int = 1,
                  batch_timeout: float = 50e-6,
-                 admission_limit: Optional[int] = None) -> None:
+                 admission_limit: Optional[int] = None,
+                 backoff_jitter_seed: Optional[int] = None) -> None:
         if request_deadline <= 0:
             raise ValueError("request deadline must be positive")
         if submit_max_retries < 1:
@@ -132,6 +148,10 @@ class AsyncOffloadEngine:
         self.software_fallback = software_fallback
         self.batch_size = batch_size
         self.batch_timeout = batch_timeout
+        #: None = no jitter (bit-for-bit the historical backoff). Set
+        #: per worker (from its RNG stream) so simultaneous ring-full
+        #: rejections across workers retry at different instants.
+        self.backoff_jitter_seed = backoff_jitter_seed
         self.breakers: List[CircuitBreaker] = [
             CircuitBreaker(lambda: self.core.sim.now,
                            failure_threshold=breaker_failure_threshold,
@@ -175,6 +195,9 @@ class AsyncOffloadEngine:
         self.op_timeouts = 0
         self.responses_stale = 0
         self.responses_corrupted = 0
+        # Lifecycle counters (worker drain / crash teardown).
+        self.ops_drained = 0
+        self.ops_aborted = 0
         # Batching stats (stub_status).
         self.batches_submitted = 0
         self.batch_ops = 0
@@ -257,9 +280,16 @@ class AsyncOffloadEngine:
                    for i, b in enumerate(self.breakers))
 
     def submit_backoff(self, attempts: int) -> float:
-        """Exponential backoff before retry number ``attempts + 1``."""
-        return min(self.busy_poll_slice * (2 ** max(attempts - 1, 0)),
+        """Exponential backoff before retry number ``attempts + 1``,
+        jittered into ``[base/2, base)`` when a jitter seed is set so
+        workers that bounced off the same full ring in the same pass
+        don't re-collide on every retry."""
+        base = min(self.busy_poll_slice * (2 ** max(attempts - 1, 0)),
                    128 * self.busy_poll_slice)
+        if self.backoff_jitter_seed is None:
+            return base
+        frac = backoff_jitter_fraction(self.backoff_jitter_seed, attempts)
+        return base * (0.5 + 0.5 * frac)
 
     # -- software fallback ----------------------------------------------------
 
@@ -763,6 +793,88 @@ class AsyncOffloadEngine:
         return (any(p.job is job for p in self._pending.values())
                 or any(q.job is job for q in self._batch)
                 or any(q.job is job for q in self._admission))
+
+    # -- worker lifecycle (drain / crash) -----------------------------------
+
+    @property
+    def idle(self) -> bool:
+        """No accepted op anywhere in the engine — in flight, in the
+        coalescing queue, or awaiting admission. The drained condition
+        the lifecycle layer waits on."""
+        return not (self._pending or self._batch or self._admission)
+
+    def drain_queued(self, owner: object) -> Generator:
+        """Worker drain: fail every queued-but-unsubmitted op over to
+        software *now*, regardless of age. A draining worker stops
+        feeding the accelerator, so an op parked in the coalescing or
+        admission queue has nobody left to flush it and would hang its
+        connection past the drain deadline. In-flight ops are left to
+        complete normally. Returns the jobs resumed."""
+        jobs: List[object] = []
+        had_admission = bool(self._admission)
+        for queue in (self._batch, self._admission):
+            for q in list(queue):
+                if q not in queue:
+                    continue
+                queue.remove(q)
+                if queue is self._batch:
+                    self.inflight.decrement(q.call.op.category)
+                self.ops_drained += 1
+                job = q.job
+                state = getattr(job, "state", None)
+                if state is not None and state.name != "PAUSED":
+                    continue
+                exc = OffloadTimeout(
+                    f"{q.call.op.kind.name} drained before reaching the "
+                    "accelerator (worker shutting down)")
+                yield from self._deliver_failure(
+                    PendingOp(call=q.call, job=job, lane=-1,
+                              submitted_at=q.enqueued_at,
+                              deadline=q.deadline),
+                    owner, exc)
+                jobs.append(job)
+        if had_admission:
+            self._sample_admission(self.core.sim.now)
+        return jobs
+
+    def abort_all(self) -> int:
+        """Worker crash: empty every engine table *synchronously* (the
+        worker process is dead, nothing can consume its core). Jobs are
+        not resumed — their connections died with the worker — but each
+        op's open trace is closed ABORTED so nothing leaks from the
+        in-flight table. Late accelerator completions for the aborted
+        ops are dropped as stale (engine) or tombstoned (pool epoch).
+        Returns the number of ops aborted."""
+        sim = self.core.sim
+        obs = getattr(sim, "obs", None)
+        aborted = 0
+        for token in list(self._pending):
+            p = self._pending.pop(token)
+            self.inflight.decrement(p.call.op.category)
+            self._abort_trace(p.job, obs, sim.now)
+            aborted += 1
+        while self._batch:
+            q = self._batch.popleft()
+            self.inflight.decrement(q.call.op.category)
+            self._abort_trace(q.job, obs, sim.now)
+            aborted += 1
+        while self._admission:
+            q = self._admission.popleft()
+            self._abort_trace(q.job, obs, sim.now)
+            aborted += 1
+        self.ops_aborted += aborted
+        return aborted
+
+    @staticmethod
+    def _abort_trace(job: object, obs: Any, now: float) -> None:
+        trace = getattr(job, "trace", None)
+        if trace is None:
+            return
+        # Detach before closing: the SSL teardown path also aborts the
+        # job's trace and must find nothing left to close.
+        job.trace = None
+        if obs is not None and obs.enabled:
+            obs.abort_open(trace, now)
 
     def poll_and_dispatch(self, owner: object,
                           max_responses: Optional[int] = None

@@ -32,6 +32,18 @@ submissions on currently-leased lanes. Completions are routed by
 request ownership: whichever worker polls a ring, a response belongs
 to the worker that submitted the request and is delivered to that
 worker's inbox — so a lease migration never loses in-flight work.
+
+Worker *incarnations* are told apart by a per-slot **lease epoch**:
+ownership is recorded as ``(worker, epoch)`` and each registered
+backend is bound to the epoch it was created under. When a worker
+crashes or an old generation drains out (see
+:mod:`repro.server.lifecycle`), its epoch is :meth:`retired
+<InstancePool.retire>`: completions still in flight on the accelerator
+under the dead epoch are *tombstoned* — counted and dropped at poll
+time — instead of being misdelivered to the replacement worker that
+now serves the same slot. A slot that stays dead (respawn disabled or
+budget exhausted) can have its leases :meth:`reclaimed
+<InstancePool.reclaim_leases>` for the surviving workers.
 """
 
 from __future__ import annotations
@@ -148,10 +160,19 @@ class DynamicPolicy(AllocationPolicy):
     def rebalance(self, pool: "InstancePool", now: float
                   ) -> List[Tuple[int, int, int]]:
         pressures = [pool.pressure(w) for w in range(pool.n_workers)]
-        hi, hi_p = 0, pressures[0]
-        for w in range(1, pool.n_workers):
-            if pressures[w] > hi_p:
+        # A worker with an open circuit breaker (or a dead slot) is
+        # pressured *because* it is failing ops over, not because it
+        # could use more lanes — migrating leases toward it would just
+        # starve the healthy workers. Skip it as a recipient; it may
+        # still donate.
+        hi, hi_p = -1, 0.0
+        for w in range(pool.n_workers):
+            if not pool.healthy(w):
+                continue
+            if hi < 0 or pressures[w] > hi_p:
                 hi, hi_p = w, pressures[w]
+        if hi < 0:
+            return []
         lo, lo_p = -1, None
         for w in range(pool.n_workers):
             if w == hi or len(pool.leases[w]) <= 1:
@@ -206,18 +227,30 @@ class InstancePool:
         self._lease_sets = [set(ls) for ls in self.leases]
         self._lease_since: Dict[int, float] = {
             lane: sim.now for lane in range(len(self.drivers))}
-        #: Request -> submitting worker, so completions polled by any
-        #: worker route back to their owner.
-        self._owner: Dict[Any, int] = {}
-        self._inboxes: List[List[Completion]] = [[] for _ in
-                                                 range(n_workers)]
+        #: Current lease epoch per slot; bumped on respawn/reload so
+        #: a replacement worker never inherits its predecessor's ops.
+        self.epochs: List[int] = [0] * n_workers
+        self._retired: set = set()  # {(worker, epoch)} dead incarnations
+        #: Request -> (worker, epoch) that submitted it, so completions
+        #: polled by any worker route back to their owner — or to the
+        #: tombstone counter if the owner's incarnation is dead.
+        self._owner: Dict[Any, Tuple[int, int]] = {}
+        self._inboxes: Dict[Tuple[int, int], List[Completion]] = {
+            (w, 0): [] for w in range(n_workers)}
         self._pressure: List[Optional[Callable[[], float]]] = \
+            [None] * n_workers
+        self._health: List[Optional[Callable[[], bool]]] = \
             [None] * n_workers
         self._backends: List[Optional[PooledQatBackend]] = \
             [None] * n_workers
         self.migrations = 0
         self.routed_completions = 0
         self.migration_log: List[Tuple[float, int, int, int]] = []
+        #: Completions for retired incarnations, dropped at poll time.
+        self.tombstone_drops = 0
+        self.tombstone_log: List[Tuple[float, int, int]] = []
+        #: Lanes taken back from permanently-dead slots.
+        self.reclaimed = 0
 
     # -- worker-facing ------------------------------------------------------
 
@@ -227,7 +260,8 @@ class InstancePool:
             raise ValueError(f"worker {worker_id} out of range")
         backend = self._backends[worker_id]
         if backend is None:
-            backend = PooledQatBackend(self, worker_id)
+            backend = PooledQatBackend(self, worker_id,
+                                       epoch=self.epochs[worker_id])
             self._backends[worker_id] = backend
             self._sample_leases(worker_id)
         return backend
@@ -242,7 +276,21 @@ class InstancePool:
         fn = self._pressure[worker_id]
         return fn() if fn is not None else 0.0
 
-    def admits(self, worker_id: int, lane: int) -> bool:
+    def set_health_source(self, worker_id: int,
+                          fn: Callable[[], bool]) -> None:
+        """Install the health predicate (no open circuit breakers) the
+        dynamic policy consults before migrating leases *toward* a
+        worker."""
+        self._health[worker_id] = fn
+
+    def healthy(self, worker_id: int) -> bool:
+        fn = self._health[worker_id]
+        return fn() if fn is not None else True
+
+    def admits(self, worker_id: int, lane: int,
+               epoch: Optional[int] = None) -> bool:
+        if epoch is not None and (worker_id, epoch) in self._retired:
+            return False
         return lane in self._lease_sets[worker_id]
 
     def lease_since(self, lane: int) -> float:
@@ -250,26 +298,35 @@ class InstancePool:
 
     # -- submission / completion routing ------------------------------------
 
-    def submit(self, worker_id: int, specs: List[OpSpec],
-               lane: int) -> List[Any]:
-        if not self.admits(worker_id, lane):
+    def submit(self, worker_id: int, specs: List[OpSpec], lane: int,
+               epoch: Optional[int] = None) -> List[Any]:
+        if epoch is None:
+            epoch = self.epochs[worker_id]
+        if not self.admits(worker_id, lane, epoch):
             return [None] * len(specs)
         drv = self.drivers[lane]
         tokens = [drv.try_submit(spec.op, spec.compute, cookie=spec.cookie)
                   for spec in specs]
         for token in tokens:
             if token is not None:
-                self._owner[token] = worker_id
+                self._owner[token] = (worker_id, epoch)
         return tokens
 
     def poll(self, worker_id: int, start: int,
-             max_responses: Optional[int] = None) -> List[Completion]:
+             max_responses: Optional[int] = None,
+             epoch: Optional[int] = None) -> List[Completion]:
         """Drain worker ``worker_id``'s inbox, then its leased rings
         (round-robin from ``start`` within the lease list). Responses
-        owned by other workers are routed to their inboxes and do not
-        consume this worker's budget."""
+        owned by other live incarnations are routed to their inboxes
+        (without consuming this worker's budget); responses owned by
+        retired incarnations are tombstoned and dropped."""
+        if epoch is None:
+            epoch = self.epochs[worker_id]
+        me = (worker_id, epoch)
+        if me in self._retired:
+            return []
         out: List[Completion] = []
-        inbox = self._inboxes[worker_id]
+        inbox = self._inboxes.setdefault(me, [])
         while inbox and (max_responses is None
                          or len(out) < max_responses):
             out.append(inbox.pop(0))
@@ -283,16 +340,103 @@ class InstancePool:
             drv = self.drivers[lanes[(start + i) % n]]
             for resp in drv.poll(budget):
                 completion = completion_from_response(resp)
-                owner = self._owner.pop(resp.request, worker_id)
-                if owner == worker_id:
+                owner = self._owner.pop(resp.request, me)
+                if owner in self._retired:
+                    self._tombstone(owner)
+                elif owner == me:
                     out.append(completion)
                 else:
-                    self._inboxes[owner].append(completion)
+                    self._inboxes.setdefault(owner, []).append(completion)
                     self.routed_completions += 1
         return out
 
-    def inbox_depth(self, worker_id: int) -> int:
-        return len(self._inboxes[worker_id])
+    def inbox_depth(self, worker_id: int,
+                    epoch: Optional[int] = None) -> int:
+        if epoch is None:
+            epoch = self.epochs[worker_id]
+        return len(self._inboxes.get((worker_id, epoch), ()))
+
+    # -- worker lifecycle (epochs / reclamation) -----------------------------
+
+    def advance_epoch(self, worker_id: int) -> int:
+        """Open a fresh lease epoch for the slot (crash respawn or
+        reload): the next :meth:`register` hands out a backend bound to
+        the new epoch. The previous epoch stays live — a draining
+        old-generation worker keeps polling under it — until
+        :meth:`retire`\\ d."""
+        if not 0 <= worker_id < self.n_workers:
+            raise ValueError(f"worker {worker_id} out of range")
+        self.epochs[worker_id] += 1
+        epoch = self.epochs[worker_id]
+        self._inboxes.setdefault((worker_id, epoch), [])
+        self._backends[worker_id] = None
+        return epoch
+
+    def retire(self, worker_id: int, epoch: int) -> int:
+        """Mark incarnation ``(worker_id, epoch)`` dead. Completions
+        already sitting in its inbox are tombstoned immediately; its
+        ops still in flight on the accelerator are tombstoned when
+        their responses surface at some later poll. Returns the number
+        of ops the dead incarnation leaves in flight (they drain to
+        tombstones, never to the in-flight table of a live worker)."""
+        key = (worker_id, epoch)
+        if key in self._retired:
+            return 0
+        self._retired.add(key)
+        for _ in self._inboxes.pop(key, ()):
+            self._tombstone(key)
+        if self._backends[worker_id] is not None \
+                and self._backends[worker_id].epoch == epoch:
+            self._backends[worker_id] = None
+        orphans = sum(1 for owner in self._owner.values() if owner == key)
+        obs = getattr(self.sim, "obs", None)
+        if obs is not None and obs.enabled:
+            obs.event(f"epoch-retire w{worker_id}", self.sim.now,
+                      args={"worker": worker_id, "epoch": epoch,
+                            "orphans": orphans})
+        return orphans
+
+    def is_retired(self, worker_id: int, epoch: int) -> bool:
+        return (worker_id, epoch) in self._retired
+
+    def dead_epoch_inflight(self) -> int:
+        """Ownership entries still held by retired incarnations — the
+        experiment's zero-leak assertion drives this to zero once the
+        accelerator rings drain."""
+        return sum(1 for owner in self._owner.values()
+                   if owner in self._retired)
+
+    def _tombstone(self, owner: Tuple[int, int]) -> None:
+        self.tombstone_drops += 1
+        self.tombstone_log.append((self.sim.now, owner[0], owner[1]))
+
+    def reclaim_leases(self, worker_id: int) -> List[Tuple[int, int]]:
+        """A permanently-dead slot (crash with respawn disabled or
+        budget exhausted) donates every lease round-robin to the other
+        slots. Returns the ``(lane, new_worker)`` moves."""
+        targets = [w for w in range(self.n_workers) if w != worker_id]
+        moves: List[Tuple[int, int]] = []
+        if not targets:
+            return moves
+        now = self.sim.now
+        for i, lane in enumerate(list(self.leases[worker_id])):
+            dst = targets[i % len(targets)]
+            self.leases[worker_id].remove(lane)
+            self._lease_sets[worker_id].discard(lane)
+            self.leases[dst].append(lane)
+            self._lease_sets[dst].add(lane)
+            self._lease_since[lane] = now
+            self.reclaimed += 1
+            self.migration_log.append((now, lane, worker_id, dst))
+            moves.append((lane, dst))
+            obs = getattr(self.sim, "obs", None)
+            if obs is not None and obs.enabled:
+                obs.event(f"lease-reclaim lane{lane}", now,
+                          args={"lane": lane, "from": worker_id,
+                                "to": dst})
+            self._sample_leases(dst)
+        self._sample_leases(worker_id)
+        return moves
 
     # -- rebalancing --------------------------------------------------------
 
@@ -333,8 +477,10 @@ class InstancePool:
             "instances": len(self.drivers),
             "workers": self.n_workers,
             "leases": self.lease_counts(),
+            "epochs": list(self.epochs),
             "migrations": self.migrations,
             "routed_completions": self.routed_completions,
+            "tombstone_drops": self.tombstone_drops,
         }
 
 
@@ -349,10 +495,18 @@ class PooledQatBackend(OffloadBackend):
 
     name = "qat"
 
-    def __init__(self, pool: InstancePool, worker_id: int) -> None:
+    def __init__(self, pool: InstancePool, worker_id: int,
+                 epoch: int = 0) -> None:
         self.pool = pool
         self.worker_id = worker_id
+        #: Lease epoch this handle was issued under; a retired epoch's
+        #: backend admits nothing and polls nothing.
+        self.epoch = epoch
         self._poll_rr = 0
+
+    @property
+    def retired(self) -> bool:
+        return self.pool.is_retired(self.worker_id, self.epoch)
 
     @property
     def drivers(self) -> List[QatUserspaceDriver]:
@@ -366,16 +520,17 @@ class PooledQatBackend(OffloadBackend):
         return len(self.pool.drivers)
 
     def admits(self, lane: int) -> bool:
-        return self.pool.admits(self.worker_id, lane)
+        return self.pool.admits(self.worker_id, lane, self.epoch)
 
     def submit_batch(self, specs: List[OpSpec], lane: int) -> List[Any]:
-        return self.pool.submit(self.worker_id, specs, lane)
+        return self.pool.submit(self.worker_id, specs, lane, self.epoch)
 
     def poll_completions(self, max_responses: Optional[int] = None
                          ) -> List[Completion]:
         start = self._poll_rr
         self._poll_rr += 1
-        return self.pool.poll(self.worker_id, start, max_responses)
+        return self.pool.poll(self.worker_id, start, max_responses,
+                              self.epoch)
 
     def submit_cpu_cost(self, n_ops: int) -> float:
         return (self.pool.drivers[0].submit_cpu_cost(n_ops)
@@ -406,6 +561,7 @@ class PooledQatBackend(OffloadBackend):
         snap.update({
             "backend": self.name,
             "worker": self.worker_id,
+            "epoch": self.epoch,
             "leased": len(self.pool.leases[self.worker_id]),
             "capacity_hint": self.capacity_hint(),
         })

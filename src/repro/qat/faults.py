@@ -26,6 +26,11 @@ Injection points (installed via :meth:`QatDevice.install_fault_plan`):
 - ``resets`` — scheduled on the simulator when the plan is installed;
   a reset wipes an endpoint's queued requests and unretrieved
   responses, as a device-level recovery action would.
+- ``worker_crashes`` — not a device fault at all: ``(worker_id, time)``
+  pairs the server's supervision layer (:mod:`repro.server.lifecycle`)
+  arms to kill a worker *process* mid-pass, exercising crash respawn
+  and lease-epoch reclamation. Listed here so the whole failure
+  schedule of a run lives in one replayable plan.
 """
 
 from __future__ import annotations
@@ -97,7 +102,8 @@ class FaultPlan:
                  latency_spike_window: Optional[Tuple[float, float]] = None,
                  ring_full_windows: Sequence[Tuple[float, float]] = (),
                  outages: Iterable = (),
-                 resets: Sequence[Tuple[int, float]] = ()) -> None:
+                 resets: Sequence[Tuple[int, float]] = (),
+                 worker_crashes: Sequence[Tuple[int, float]] = ()) -> None:
         for rate in (response_loss, corruption, latency_spike_rate):
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"rate {rate} outside [0, 1]")
@@ -114,6 +120,11 @@ class FaultPlan:
         self.ring_full_windows = tuple(ring_full_windows)
         self.outages = _normalize_outages(outages)
         self.resets = tuple(resets)
+        for worker_id, when in worker_crashes:
+            if worker_id < 0 or when < 0:
+                raise ValueError(
+                    f"bad worker crash ({worker_id}, {when})")
+        self.worker_crashes = tuple(worker_crashes)
         #: The replayable event trace: (time, kind, detail) tuples.
         self.events: List[Tuple[float, str, str]] = []
         self.responses_lost = 0
@@ -121,6 +132,7 @@ class FaultPlan:
         self.latency_spikes = 0
         self.submits_rejected = 0
         self.resets_fired = 0
+        self.workers_crashed = 0
 
     # -- injection queries (called by the QAT model) -----------------------
 
@@ -190,6 +202,12 @@ class FaultPlan:
         self._record(now, "endpoint_reset",
                      f"ep{endpoint_id} dropped {dropped} entries")
 
+    def on_worker_crash(self, worker_id: int, now: float) -> None:
+        """Fired by the supervision layer when a scheduled worker
+        crash actually kills a worker process."""
+        self.workers_crashed += 1
+        self._record(now, "worker_crash", f"worker{worker_id} killed")
+
     # -- observability -----------------------------------------------------
 
     def _record(self, now: float, kind: str, detail: str) -> None:
@@ -200,7 +218,8 @@ class FaultPlan:
                     responses_corrupted=self.responses_corrupted,
                     latency_spikes=self.latency_spikes,
                     submits_rejected=self.submits_rejected,
-                    resets_fired=self.resets_fired)
+                    resets_fired=self.resets_fired,
+                    workers_crashed=self.workers_crashed)
 
     def trace(self) -> List[Tuple[float, str, str]]:
         return list(self.events)

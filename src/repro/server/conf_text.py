@@ -129,6 +129,21 @@ def server_config_from_text(text: str) -> ServerConfig:
             cfg.async_notify_mode = mode
         elif directive == "keepalive_timeout":
             cfg.keepalive = _one(value, directive) != "0"
+        elif directive == "worker_respawn":
+            cfg.worker_respawn = (
+                _one(value, directive) not in ("off", "0", "false"))
+        elif directive == "max_respawns":
+            budget = int(_one(value, directive))
+            if budget < 0:
+                raise ConfError(
+                    f"max_respawns must be >= 0, got {budget}")
+            cfg.max_respawns = budget
+        elif directive == "worker_drain_timeout":
+            timeout = float(_one(value, directive))
+            if timeout <= 0:
+                raise ConfError(
+                    f"worker_drain_timeout must be positive, got {timeout}")
+            cfg.worker_drain_timeout = timeout
         else:
             raise ConfError(f"unknown directive {directive!r}")
 

@@ -169,11 +169,25 @@ class ServerConfig:
     #: Share one notification FD across all async jobs of a connection
     #: (the section 4.4 optimization). False allocates one per job.
     share_notify_fd: bool = True
+    #: Lifecycle supervision (nginx master behaviour): respawn a
+    #: crashed worker on the same core. Off leaves the slot dead and
+    #: reclaims its instance leases for the surviving workers.
+    worker_respawn: bool = True
+    #: Per-slot respawn budget; a worker crashing more than this many
+    #: times stays down (crash-loop protection).
+    max_respawns: int = 5
+    #: Graceful-reload drain deadline: an old-generation worker still
+    #: holding connections past it is force-aborted.
+    worker_drain_timeout: float = 50e-3
     ssl_engine: SslEngineConfig = field(default_factory=SslEngineConfig)
 
     def validate(self) -> None:
         if self.worker_processes < 1:
             raise ValueError("need at least one worker")
+        if self.max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
+        if self.worker_drain_timeout <= 0:
+            raise ValueError("worker drain timeout must be positive")
         if self.tls_version not in ("1.2", "1.3"):
             raise ValueError(f"unsupported TLS version {self.tls_version!r}")
         if self.async_notify_mode not in ("fd", "queue"):

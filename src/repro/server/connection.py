@@ -44,6 +44,15 @@ class ServerConnection:
         self.prior_state: Optional[ConnState] = None
         #: The handler to reschedule on the async event (section 3.2).
         self.async_handler: Optional[Callable] = None
+        #: Mirrors stub_status's idle count for this conn.  Teardown can
+        #: be interrupted between the CLOSED transition and the stub
+        #: update, so the flag — not ``state`` — is authoritative.
+        self.stub_idle: bool = False
+        #: Bumped on every TLS-ASYNC parking.  Notification-queue and
+        #: retry entries are stamped with it so a stale entry (the conn
+        #: was already resumed through the other channel and has parked
+        #: on a *new* op) cannot re-run the handler and double-submit.
+        self.async_token: int = 0
         #: A read event arrived while TLS-ASYNC: cleared & saved, to be
         #: restored after the async event is processed (section 4.2).
         self.saved_read_pending = False
@@ -79,6 +88,7 @@ class ServerConnection:
         self.prior_state = self.state
         self.state = ConnState.TLS_ASYNC
         self.async_handler = handler
+        self.async_token += 1
 
     def leave_async(self) -> Callable:
         if self.state is not ConnState.TLS_ASYNC:

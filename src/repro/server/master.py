@@ -25,6 +25,7 @@ from ..tls.constants import ProtocolVersion
 from ..tls.session import SessionCache
 from ..tls.suites import get_suite
 from .config import ServerConfig
+from .lifecycle import WorkerSupervisor
 from .worker import Worker
 
 __all__ = ["TlsServer"]
@@ -47,8 +48,10 @@ class TlsServer:
         self.qat_device = qat_device
         if config.uses_qat and qat_device is None:
             raise ValueError("QAT offload configured but no device given")
+        self._rng = rng
 
         suites = tuple(get_suite(name) for name in config.suites)
+        self._suites = suites
         self._version = (ProtocolVersion.TLS13 if config.tls_version == "1.3"
                          else ProtocolVersion.TLS12)
 
@@ -119,59 +122,87 @@ class TlsServer:
                 bandwidth_bps=eng_cfg.remote_link_bandwidth,
                 name="accel->server")
 
-        self.workers: List[Worker] = []
-        for i in range(config.worker_processes):
-            listener = net.bind(self.listen_addr(i))
-            core = self.topology[i]
-            worker_rng = rng.stream(f"worker-{i}")
+        # Listen sockets outlive worker incarnations (nginx inherits
+        # them across respawns and reloads), so they are bound once and
+        # handed to whichever worker currently serves the slot.
+        self.listeners = [net.bind(self.listen_addr(i))
+                          for i in range(config.worker_processes)]
+        self.supervisor = WorkerSupervisor(sim, self)
+        #: Dead incarnations (crashed or drained out), kept so their
+        #: metrics still aggregate into :meth:`metrics_snapshot`.
+        self.retired_workers: List[Worker] = []
+        self.workers: List[Worker] = [
+            self._make_worker(i) for i in range(config.worker_processes)]
 
-            def make_ctx(worker, core=core, worker_id=i,
-                         worker_rng=worker_rng):
-                tls_cfg = TlsServerConfig(
-                    provider=provider, suites=suites, rng=worker_rng,
-                    credentials_rsa=self._cred_rsa,
-                    credentials_ecdsa=self._cred_ecdsa,
-                    curves=config.curves,
-                    session_cache=self.session_cache,
-                    issue_tickets=config.session_tickets,
-                    ticket_keeper=self.ticket_keeper,
-                    clock=lambda: sim.now)
-                eng_cfg = config.ssl_engine
-                engine_kw = dict(
-                    algorithms=eng_cfg.default_algorithm,
-                    request_deadline=eng_cfg.qat_request_deadline,
-                    submit_max_retries=eng_cfg.qat_submit_max_retries,
-                    breaker_failure_threshold=(
-                        eng_cfg.qat_breaker_failure_threshold),
-                    breaker_reset_timeout=(
-                        eng_cfg.qat_breaker_reset_timeout),
-                    software_fallback=eng_cfg.qat_software_fallback,
-                    batch_size=eng_cfg.qat_batch_size,
-                    batch_timeout=eng_cfg.qat_batch_timeout,
-                    admission_limit=(
-                        eng_cfg.offload_admission_limit or None))
-                if config.uses_qat:
-                    backend = self.instance_pool.register(worker_id)
-                    engine = AsyncOffloadEngine(
-                        backend, core, self.cost_model, **engine_kw)
-                elif config.uses_remote:
-                    backend = RemoteAcceleratorBackend(
-                        sim, self.remote_service,
-                        tx_link=self._remote_tx, rx_link=self._remote_rx,
-                        window=eng_cfg.remote_window)
-                    engine = AsyncOffloadEngine(
-                        backend, core, self.cost_model, **engine_kw)
-                else:
-                    engine = SoftwareEngine(core, self.cost_model)
-                async_mode = (config.async_impl if config.async_offload
-                              else "sync")
-                return SslContext(tls_cfg, engine, core, self.cost_model,
-                                  async_mode=async_mode,
-                                  version=self._version)
+    def _ctx_factory(self, worker_id: int):
+        """The SSL-context factory for one worker slot. Reads
+        ``self.config`` at call time, so a replacement worker spawned
+        after a reload picks up the new configuration; the worker's RNG
+        stream is slot-keyed and cached by the registry, so a respawned
+        incarnation *continues* the stream deterministically."""
+        sim = self.sim
+        worker_rng = self._rng.stream(f"worker-{worker_id}")
 
-            worker = Worker(sim, i, core, listener, make_ctx, config,
-                            self.cost_model)
-            self.workers.append(worker)
+        def make_ctx(worker, core=None):
+            config = self.config
+            core = worker.core
+            tls_cfg = TlsServerConfig(
+                provider=self.provider, suites=self._suites,
+                rng=worker_rng,
+                credentials_rsa=self._cred_rsa,
+                credentials_ecdsa=self._cred_ecdsa,
+                curves=config.curves,
+                session_cache=self.session_cache,
+                issue_tickets=config.session_tickets,
+                ticket_keeper=self.ticket_keeper,
+                clock=lambda: sim.now)
+            eng_cfg = config.ssl_engine
+            engine_kw = dict(
+                algorithms=eng_cfg.default_algorithm,
+                request_deadline=eng_cfg.qat_request_deadline,
+                submit_max_retries=eng_cfg.qat_submit_max_retries,
+                breaker_failure_threshold=(
+                    eng_cfg.qat_breaker_failure_threshold),
+                breaker_reset_timeout=(
+                    eng_cfg.qat_breaker_reset_timeout),
+                software_fallback=eng_cfg.qat_software_fallback,
+                batch_size=eng_cfg.qat_batch_size,
+                batch_timeout=eng_cfg.qat_batch_timeout,
+                admission_limit=(
+                    eng_cfg.offload_admission_limit or None),
+                # Per-incarnation retry-backoff jitter seed: one draw
+                # from the worker's stream, so simultaneous ring-full
+                # bounces across workers desynchronize their retries
+                # while same-seed runs replay bit-for-bit.
+                backoff_jitter_seed=int(worker_rng.integers(1 << 63)))
+            if config.uses_qat:
+                backend = self.instance_pool.register(worker_id)
+                engine = AsyncOffloadEngine(
+                    backend, core, self.cost_model, **engine_kw)
+            elif config.uses_remote:
+                backend = RemoteAcceleratorBackend(
+                    sim, self.remote_service,
+                    tx_link=self._remote_tx, rx_link=self._remote_rx,
+                    window=eng_cfg.remote_window)
+                engine = AsyncOffloadEngine(
+                    backend, core, self.cost_model, **engine_kw)
+            else:
+                engine = SoftwareEngine(core, self.cost_model)
+            async_mode = (config.async_impl if config.async_offload
+                          else "sync")
+            return SslContext(tls_cfg, engine, core, self.cost_model,
+                              async_mode=async_mode,
+                              version=self._version)
+
+        return make_ctx
+
+    def _make_worker(self, slot: int, generation: int = 0) -> Worker:
+        """Build (but don't start) a worker incarnation for ``slot``,
+        reusing the slot's core and inherited listen socket."""
+        return Worker(self.sim, slot, self.topology[slot],
+                      self.listeners[slot], self._ctx_factory(slot),
+                      self.config, self.cost_model,
+                      generation=generation)
 
     # -- addressing -----------------------------------------------------------
 
@@ -185,23 +216,51 @@ class TlsServer:
     # -- lifecycle --------------------------------------------------------------
 
     def start(self) -> None:
-        for w in self.workers:
-            w.start()
+        for i, w in enumerate(self.workers):
+            self._start_worker(i, w)
         pool = self.instance_pool
         if pool is not None:
-            for i, w in enumerate(self.workers):
-                engine = w.engine
-
-                def pressure(engine=engine) -> float:
-                    return (engine.inflight.total
-                            + engine.admission_queued)
-
-                pool.set_pressure_source(i, pressure)
             if (isinstance(pool.policy, DynamicPolicy)
                     and not self._rebalance_proc_running):
                 self._rebalance_proc_running = True
                 self.sim.process(self._rebalance_loop(),
                                  name="pool-rebalance")
+        # Deterministic worker-crash faults from the device's plan.
+        plan = getattr(self.qat_device, "fault_plan", None)
+        if plan is not None and getattr(plan, "worker_crashes", ()):
+            self.supervisor.schedule_crashes(plan)
+
+    def _start_worker(self, slot: int, worker: Worker) -> None:
+        """Start an incarnation and wire it into the pool (pressure and
+        breaker-health feeds) and the supervisor."""
+        worker.start()
+        pool = self.instance_pool
+        if pool is not None:
+            engine = worker.engine
+
+            def pressure(engine=engine) -> float:
+                return (engine.inflight.total
+                        + engine.admission_queued)
+
+            def healthy(engine=engine) -> bool:
+                return engine.open_breakers == 0
+
+            pool.set_pressure_source(slot, pressure)
+            pool.set_health_source(slot, healthy)
+        self.supervisor.watch(slot, worker)
+
+    # -- supervision entry points ---------------------------------------------
+
+    def reload(self, new_config: Optional[ServerConfig] = None) -> bool:
+        """Graceful reload (SIGHUP semantics): validate the new config,
+        swap it in, spawn a new worker generation and drain the old one.
+        Returns False (old config keeps serving) if validation rejects
+        the candidate."""
+        return self.supervisor.reload(new_config)
+
+    def crash_worker(self, slot: int) -> bool:
+        """Kill one worker incarnation abruptly (test/fault hook)."""
+        return self.supervisor.crash_worker(slot)
 
     def _rebalance_loop(self):
         interval = self.config.ssl_engine.qat_rebalance_interval
@@ -218,12 +277,15 @@ class TlsServer:
         self._rebalance_proc_running = False
         for w in self.workers:
             w.stop()
+        for w in self.retired_workers:
+            if w.running:
+                w.stop()
 
     # -- metrics ------------------------------------------------------------------
 
     def metrics_snapshot(self) -> dict:
         total: dict = {}
-        for w in self.workers:
+        for w in list(self.workers) + list(self.retired_workers):
             for k, v in w.metrics.snapshot().items():
                 total[k] = total.get(k, 0) + v
         return total

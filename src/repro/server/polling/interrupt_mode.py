@@ -54,6 +54,16 @@ class InterruptRetriever:
         for drv in self.engine.backend.drivers:
             drv.instance.set_response_callback(self._on_response)
 
+    def disarm(self) -> None:
+        """Unhook every ring callback (worker death/teardown): a fresh
+        incarnation arms its own retriever, and interrupts already
+        coalescing fizzle instead of dispatching into a dead engine."""
+        if not self._armed:
+            return
+        self._armed = False
+        for drv in self.engine.backend.drivers:
+            drv.instance.set_response_callback(None)
+
     def _on_response(self, _ring) -> None:
         if self._pending:
             return  # coalesced into the already-scheduled interrupt
@@ -64,6 +74,8 @@ class InterruptRetriever:
         # Interrupt moderation delay, then the service path.
         yield self.sim.timeout(COALESCE_WINDOW)
         self._pending = False
+        if not self._armed:
+            return  # disarmed while the interrupt was coalescing
         self.interrupts += 1
         core = self.engine.core
         yield from core.kernel_crossing(extra=IRQ_SERVICE_COST)

@@ -44,6 +44,13 @@ class StubStatus:
         self.admission_peak = 0
         self.admission_admitted = 0
         self._pool_section = False
+        # Lifecycle section (supervision layer): this worker's state
+        # machine position, config generation, lease epoch and how many
+        # times its slot has been respawned. Empty state = hidden.
+        self.lifecycle_state = ""
+        self.lifecycle_generation = 0
+        self.lifecycle_epoch = 0
+        self.lifecycle_respawns = 0
         # Request-tracing section: lifecycle counters published by the
         # worker from the simulation's RequestTracer (all zero when
         # tracing is off).
@@ -123,6 +130,15 @@ class StubStatus:
         self.admission_peak = admission_peak
         self.admission_admitted = admission_admitted
 
+    def update_lifecycle(self, *, state: str, generation: int,
+                         epoch: int, respawns: int) -> None:
+        """Refresh the supervision-layer section (the master publishes
+        this on every state transition)."""
+        self.lifecycle_state = state
+        self.lifecycle_generation = generation
+        self.lifecycle_epoch = epoch
+        self.lifecycle_respawns = respawns
+
     def update_trace(self, *, trace_ops: int, trace_open: int,
                      trace_spans: int, trace_sampled_out: int) -> None:
         """Refresh the request-tracing counters (worker watchdog /
@@ -163,6 +179,11 @@ class StubStatus:
                f"peak {self.admission_peak} "
                f"admitted {self.admission_admitted}\n"
                if self._pool_section else "")
+            + (f"lifecycle: state {self.lifecycle_state} "
+               f"generation {self.lifecycle_generation} "
+               f"epoch {self.lifecycle_epoch} "
+               f"respawns {self.lifecycle_respawns}\n"
+               if self.lifecycle_state else "")
             + (f"trace: ops {self.trace_ops} open {self.trace_open} "
                f"spans {self.trace_spans} "
                f"sampled_out {self.trace_sampled_out}\n"

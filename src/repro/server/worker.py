@@ -23,7 +23,7 @@ The four phases of the QTLS framework map onto this file as:
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Generator, List, Optional
+from typing import Deque, Dict, Generator, List, Optional, Tuple
 
 from ..core.costmodel import CostModel
 from ..cpu.core import Core
@@ -32,6 +32,7 @@ from ..net.epoll_sim import (EPOLL_CTL_COST, NOTIFY_FD_READ_COST, Epoll,
                              NotifyFd)
 from ..net.network import Listener
 from ..net.socket_sim import SimSocket
+from ..sim.process import Interrupt
 from ..ssl.connection import SslConnection
 from ..ssl.status import SslStatus
 from ..tls.actions import TlsAlert
@@ -71,13 +72,16 @@ class Worker:
 
     def __init__(self, sim, worker_id: int, core: Core, listener: Listener,
                  ssl_ctx_factory, config: ServerConfig,
-                 cost_model: CostModel) -> None:
+                 cost_model: CostModel, generation: int = 0) -> None:
         self.sim = sim
         self.worker_id = worker_id
         self.core = core
         self.listener = listener
         self.config = config
         self.cm = cost_model
+        #: Config generation this worker was spawned under (bumped by
+        #: each graceful reload; see repro.server.lifecycle).
+        self.generation = generation
         self.ssl_ctx = ssl_ctx_factory(self)
         self.engine = self.ssl_ctx.engine
 
@@ -85,13 +89,21 @@ class Worker:
         self.epoll.register(listener)
         self.stub_status = StubStatus()
         self.async_queue = AsyncEventQueue()
-        self.retries: Deque[ServerConnection] = deque()
+        #: (conn, async_token) pairs: stale entries (token mismatch)
+        #: are dropped instead of re-resuming an already-resumed conn.
+        self.retries: Deque[Tuple[ServerConnection, int]] = deque()
         self.metrics = WorkerMetrics()
 
         self.conns: Dict[SimSocket, ServerConnection] = {}
         self.fd_conns: Dict[NotifyFd, ServerConnection] = {}
         self._conn_seq = 0
         self.running = True
+        #: Graceful drain (reload): stopped accepting, serving only the
+        #: connections already open; exits once they finish.
+        self.draining = False
+        #: The event-loop process, so the supervisor can watch for exit
+        #: and interrupt it on a crash.
+        self.proc = None
 
         # Response retrieval scheme (only meaningful with async offload).
         self.poller: Optional[HeuristicPoller] = None
@@ -141,7 +153,9 @@ class Worker:
     # -- lifecycle ------------------------------------------------------------
 
     def start(self) -> None:
-        self.sim.process(self._event_loop(), name=f"worker-{self.worker_id}")
+        self.proc = self.sim.process(
+            self._event_loop(),
+            name=f"worker-{self.worker_id}.g{self.generation}")
         if self.timer_thread is not None:
             self.timer_thread.start()
         if self.poller is not None and \
@@ -159,38 +173,125 @@ class Worker:
             self.timer_thread.stop()
         self._refresh_degradation()
 
+    def begin_drain(self) -> None:
+        """nginx SIGHUP: hand the listen socket to the new generation
+        and stop accepting. Connections already open keep being served
+        until they finish (or the supervisor's drain deadline
+        force-aborts them); the event loop exits on its own once
+        :attr:`drained`."""
+        if self.draining:
+            return
+        self.draining = True
+        if self.epoll.is_registered(self.listener):
+            self.epoll.unregister(self.listener)
+
+    @property
+    def drained(self) -> bool:
+        """No connections left and nothing inside the offload engine."""
+        if self.conns:
+            return False
+        if isinstance(self.engine, AsyncOffloadEngine):
+            return self.engine.idle
+        return True
+
+    def kill(self) -> None:
+        """Crash (or drain-deadline force-abort) teardown: the process
+        dies mid-pass, its sockets close (clients see EOF) and every
+        open offload op is aborted out of the engine tables.
+        Synchronous — a dead process consumes no core time."""
+        self.running = False
+        if self.timer_thread is not None:
+            self.timer_thread.stop()
+        if self.interrupt_retriever is not None:
+            self.interrupt_retriever.disarm()
+        if self.proc is not None and self.proc.is_alive:
+            self.proc.interrupt("worker killed")
+        for conn in list(self.conns.values()):
+            was_idle = conn.stub_idle
+            conn.stub_idle = False
+            conn.state = ConnState.CLOSED
+            conn.ssl.abort_job()
+            if not conn.sock.closed:
+                conn.sock.close()
+            self.stub_status.on_close(was_idle=was_idle)
+            self.metrics.connections_closed += 1
+        self.conns.clear()
+        self.fd_conns.clear()
+        self.retries.clear()
+        while self.async_queue:
+            self.async_queue.pop()
+        if isinstance(self.engine, AsyncOffloadEngine):
+            self.engine.abort_all()
+        # Detach the dead epoll from everything it watched, so sockets
+        # and the (possibly reused) listener stop notifying it.
+        for p in list(self.epoll._watched):
+            self.epoll.unregister(p)
+        self._refresh_degradation()
+
     # -- the main event loop (paper section 2.2 / 3.4) -----------------------------
 
     def _event_loop(self) -> Generator:
-        while self.running:
-            timeout = self._loop_timeout()
-            ready = yield from self.epoll.wait(self.core, owner=self,
-                                               timeout=timeout)
-            for p in ready:
-                yield from self.core.consume(self.cm.event_dispatch_cost,
-                                             owner=self)
-                if p is self.listener:
-                    yield from self._accept_all()
-                elif isinstance(p, NotifyFd):
-                    yield from self._notify_fd_event(p)
-                else:
-                    conn = self.conns.get(p)
-                    if conn is not None:
-                        yield from self._socket_event(conn)
+        try:
+            while self.running:
+                timeout = self._loop_timeout()
+                ready = yield from self.epoll.wait(self.core, owner=self,
+                                                   timeout=timeout)
+                for p in ready:
+                    yield from self.core.consume(
+                        self.cm.event_dispatch_cost, owner=self)
+                    if p is self.listener:
+                        if not self.draining:
+                            yield from self._accept_all()
+                    elif isinstance(p, NotifyFd):
+                        yield from self._notify_fd_event(p)
+                    else:
+                        conn = self.conns.get(p)
+                        if conn is not None:
+                            yield from self._socket_event(conn)
+                    yield from self._heuristic_check()
+                # Post-processing phase: drain the kernel-bypass queue
+                # at the end of the loop.
+                yield from self._drain_async_queue()
+                yield from self._process_retries()
                 yield from self._heuristic_check()
-            # Post-processing phase: drain the kernel-bypass queue at
-            # the end of the loop.
-            yield from self._drain_async_queue()
-            yield from self._process_retries()
-            yield from self._heuristic_check()
-            # End-of-pass batch flush: ops the handlers above coalesced
-            # this pass go out in one doorbell/RPC. Submissions never
-            # wait past the current loop pass, so batching adds no
-            # cross-pass latency.
-            if (self._batching and self.engine.queued_batch_ops):
-                yield from self.engine.flush_batch(owner=self)
-            if self._admission_on and self.engine.admission_queued:
-                yield from self.engine.admit_queued(owner=self)
+                # End-of-pass batch flush: ops the handlers above
+                # coalesced this pass go out in one doorbell/RPC.
+                # Submissions never wait past the current loop pass, so
+                # batching adds no cross-pass latency.
+                if (self._batching and self.engine.queued_batch_ops):
+                    yield from self.engine.flush_batch(owner=self)
+                if self._admission_on and self.engine.admission_queued:
+                    yield from self.engine.admit_queued(owner=self)
+                if self.draining:
+                    yield from self._drain_pass()
+                    if self.drained:
+                        # Old generation finished its last connection:
+                        # exit; the supervisor retires the lease epoch.
+                        self.running = False
+        except Interrupt:
+            # Killed by the supervision layer (crash injection or a
+            # drain-deadline force-abort); Worker.kill() already tore
+            # the tables down.
+            return
+
+    def _drain_pass(self) -> Generator:
+        """One end-of-pass drain step: ops still queued inside the
+        engine (coalescing or admission queue) fail over to software so
+        their connections can finish instead of hanging behind an
+        accelerator path nobody will keep feeding. The failover
+        deliveries notify the jobs' wait contexts, so the next pass
+        resumes the connections through the normal async plumbing."""
+        if (isinstance(self.engine, AsyncOffloadEngine)
+                and (self.engine.queued_batch_ops
+                     or self.engine.admission_queued)):
+            yield from self.engine.drain_queued(owner=self)
+        # The heuristic poller's thresholds are tuned for steady-state
+        # throughput; a draining worker's in-flight population dribbles
+        # below them and would sit waiting on deadline failovers.
+        # Latency is all that matters now — poll every pass.
+        if self.poller is not None and self.engine.inflight.total > 0:
+            yield from self.engine.poll_and_dispatch(owner=self)
+        return None
 
     def _loop_timeout(self) -> Optional[float]:
         if self.async_queue:
@@ -198,7 +299,7 @@ class Worker:
         timeout: Optional[float] = None
         if self.retries:
             # Sleep only until the earliest backed-off retry is due.
-            due = min(c.retry_not_before for c in self.retries)
+            due = min(c.retry_not_before for c, _ in self.retries)
             timeout = max(0.0, due - self.sim.now)
         if self.poller is not None and (
                 self.engine.inflight.total > 0
@@ -250,7 +351,7 @@ class Worker:
                     # Response delivered but the handler never ran:
                     # reschedule it directly.
                     conn.retry_not_before = 0.0
-                    self.retries.append(conn)
+                    self.retries.append((conn, conn.async_token))
                     rescued += 1
                 elif (job.state.name == "PAUSED"
                         and not self.engine.is_pending(job)):
@@ -357,7 +458,8 @@ class Worker:
         if self.config.async_notify_mode == "queue":
             # SSL_set_async_callback: the response callback will insert
             # the async handler at the tail of the async queue.
-            job.wait_ctx.set_callback(self.async_queue.push, conn)
+            job.wait_ctx.set_callback(self.async_queue.push,
+                                      (conn, conn.async_token))
         else:
             if conn.notify_fd is not None and not self.config.share_notify_fd:
                 # Per-job FDs (the unoptimized variant): retire the
@@ -386,20 +488,23 @@ class Worker:
 
     def _drain_async_queue(self) -> Generator:
         while self.async_queue:
-            conn = self.async_queue.pop()
+            conn, token = self.async_queue.pop()
             yield from self.core.consume(self.cm.async_queue_cost,
                                          owner=self)
+            if token != conn.async_token:
+                continue  # already resumed through another channel
             yield from self._resume_async(conn)
             yield from self._heuristic_check()
 
     def _process_retries(self) -> Generator:
         now = self.sim.now
         for _ in range(len(self.retries)):
-            conn = self.retries.popleft()
-            if conn.state is ConnState.CLOSED or not conn.in_async:
+            conn, token = self.retries.popleft()
+            if (conn.state is ConnState.CLOSED or not conn.in_async
+                    or token != conn.async_token):
                 continue
             if conn.retry_not_before > now:
-                self.retries.append(conn)  # backoff not elapsed yet
+                self.retries.append((conn, token))  # backoff not elapsed
                 continue
             yield from self._resume_async(conn)
 
@@ -432,7 +537,7 @@ class Worker:
                 conn.retry_not_before = (
                     self.sim.now
                     + self.engine.submit_backoff(job.submit_attempts))
-            self.retries.append(conn)
+            self.retries.append((conn, conn.async_token))
             return True
         return False
 
@@ -550,17 +655,18 @@ class Worker:
     def _mark_idle(self, conn: ServerConnection) -> None:
         if conn.state is not ConnState.IDLE:
             conn.state = ConnState.IDLE
+            conn.stub_idle = True
             self.stub_status.on_idle()
 
     def _mark_active(self, conn: ServerConnection) -> None:
         if conn.state is ConnState.IDLE:
+            conn.stub_idle = False
             self.stub_status.on_active()
             conn.state = ConnState.READING
 
     def _teardown(self, conn: ServerConnection) -> Generator:
         if conn.state is ConnState.CLOSED:
             return
-        was_idle = conn.state is ConnState.IDLE
         conn.state = ConnState.CLOSED
         conn.ssl.abort_job()
         yield from self.core.consume(self.cm.close_cost, owner=self)
@@ -570,5 +676,10 @@ class Worker:
             self.fd_conns.pop(conn.notify_fd, None)
         self.conns.pop(conn.sock, None)
         conn.sock.close()
+        # Read the idle flag only now: the consume above is a yield
+        # point, and a kill() interrupt must still see the flag set so
+        # it can balance the stub_status books itself.
+        was_idle = conn.stub_idle
+        conn.stub_idle = False
         self.stub_status.on_close(was_idle=was_idle)
         self.metrics.connections_closed += 1

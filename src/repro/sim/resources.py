@@ -50,6 +50,8 @@ class Resource:
 
     def request(self) -> Event:
         """Return an event that fires when a slot is granted."""
+        while self._waiters and self._waiters[0].cancelled:
+            self._waiters.popleft()
         ev = Event(self.sim, name=f"{self.name}-req")
         if self._in_use < self.capacity and not self._waiters:
             self._in_use += 1

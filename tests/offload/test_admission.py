@@ -115,3 +115,94 @@ def test_admission_applies_before_ring_pressure():
     assert eng.submit_failures == 0
     assert eng.admission_queued == 28
     assert env.drivers[0].in_flight <= 4
+
+
+# -- worker drain / crash teardown (lifecycle layer) ------------------------
+
+def drain_once(env):
+    """One engine.drain_queued pass inside a sim process."""
+    def proc(sim):
+        jobs = yield from env.engine.drain_queued(owner="w")
+        return jobs
+
+    p = env.sim.process(proc(env.sim))
+    env.sim.run()
+    return p.value
+
+
+def test_drain_fails_over_admission_queued_ops():
+    # Regression: queued-but-unsubmitted ops must fail over (and resume
+    # their jobs) when the worker drains, not hang behind an
+    # accelerator path nobody will keep feeding.
+    env = make_qat_env(admission_limit=1)
+    calls = [rsa_call(f"r{i}") for i in range(3)]
+    jobs = [make_job(paused_on=c) for c in calls]
+    assert submit_all(env, list(zip(calls, jobs))) == [True] * 3
+    eng = env.engine
+    assert eng.admission_queued == 2
+
+    resumed = drain_once(env)
+    assert resumed == jobs[1:]
+    assert eng.admission_queued == 0
+    assert eng.ops_drained == 2
+    # Software fallback delivered results, not errors.
+    assert eng.ops_fallback == 2
+    assert all(j.response_ready for j in jobs[1:])
+    # The op already on the accelerator is untouched; the engine is
+    # idle only after it completes and is polled out.
+    assert not eng.idle
+    poll_once(env)
+    assert eng.idle
+
+
+def test_drain_fails_over_coalescing_queue():
+    env = make_qat_env(batch_size=4, batch_timeout=1e-3)
+    calls = [rsa_call(f"b{i}") for i in range(2)]
+    jobs = [make_job(paused_on=c) for c in calls]
+    assert submit_all(env, list(zip(calls, jobs))) == [True] * 2
+    eng = env.engine
+    assert eng.queued_batch_ops == 2
+    assert eng.inflight.total == 2  # batched ops count as in flight
+
+    resumed = drain_once(env)
+    assert resumed == jobs
+    assert eng.queued_batch_ops == 0
+    assert eng.inflight.total == 0
+    assert eng.ops_drained == 2 and eng.ops_fallback == 2
+    assert eng.idle
+    assert env.drivers[0].submitted == 0  # never reached the rings
+
+
+def test_abort_all_empties_every_table_and_closes_traces():
+    env = make_qat_env(admission_limit=2, trace=True)
+    calls = [rsa_call(f"a{i}") for i in range(4)]
+    jobs = []
+    for c in calls:
+        job = make_job(paused_on=c)
+        job.trace = env.tracer.begin(c.op, conn_id=1, worker_id=0,
+                                     kind="handshake", now=env.sim.now)
+        jobs.append(job)
+    assert submit_all(env, list(zip(calls, jobs))) == [True] * 4
+    eng = env.engine
+    assert eng.inflight.total == 2 and eng.admission_queued == 2
+
+    aborted = eng.abort_all()
+    assert aborted == 4 and eng.ops_aborted == 4
+    assert eng.idle
+    assert eng.inflight.total == 0 and eng.admission_queued == 0
+    # Every open trace closed (ABORTED), none leaked, none double-closed.
+    assert env.tracer.snapshot_counts()["trace_open"] == 0
+    assert all(j.trace is None for j in jobs)
+
+    # Late completions for the aborted in-flight ops surface on the
+    # rings and are dropped as stale, never delivered to a dead job.
+    env.sim.run()
+    delivered = poll_once(env)
+    assert delivered == []
+    assert eng.responses_stale == 2
+
+
+def test_abort_all_on_an_idle_engine_is_a_noop():
+    env = make_qat_env()
+    assert env.engine.abort_all() == 0
+    assert env.engine.idle

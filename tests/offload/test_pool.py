@@ -246,7 +246,8 @@ def test_snapshot_and_health():
     snap = pool.snapshot()
     assert snap == {"policy": "dynamic", "instances": 4, "workers": 2,
                     "leases": [2, 2], "migrations": 0,
-                    "routed_completions": 0}
+                    "routed_completions": 0, "epochs": [0, 0],
+                    "tombstone_drops": 0}
     health = pool.register(0).health()
     assert health["backend"] == "qat"
     assert health["worker"] == 0 and health["leased"] == 2
@@ -259,3 +260,108 @@ def test_backend_views_leased_drivers_but_global_lanes():
     assert b1.lanes == 4
     assert b1.drivers == [pool.drivers[2], pool.drivers[3]]
     assert b1.lane_stats(0) is pool.drivers[0]
+
+
+# -- lease epochs / retirement (worker lifecycle) ---------------------------
+
+def healthy(pool, *values):
+    for w, v in enumerate(values):
+        pool.set_health_source(w, lambda v=v: bool(v))
+
+
+def test_rebalance_skips_unhealthy_receivers():
+    # Regression: a worker with an open circuit breaker must never be
+    # chosen as the migration target, no matter how high its pressure.
+    sim, pool = make_pool(policy=DynamicPolicy(min_dwell=1e-3,
+                                               pressure_gap=4.0))
+    pressured(pool, 0, 10)
+    healthy(pool, 1, 0)  # worker 1 is pressured but broken
+    assert pool.rebalance(now=1.0) == []
+    # Once the breaker closes again, the same tick migrates.
+    healthy(pool, 1, 1)
+    assert pool.rebalance(now=2.0) == [(0, 0, 1)]
+
+
+def test_rebalance_with_every_receiver_unhealthy_is_a_noop():
+    sim, pool = make_pool(policy=DynamicPolicy(min_dwell=1e-3,
+                                               pressure_gap=4.0))
+    pressured(pool, 10, 10)
+    healthy(pool, 0, 0)
+    assert pool.rebalance(now=1.0) == []
+
+
+def test_advance_epoch_rebinds_the_backend():
+    _, pool = make_pool()
+    b_old = pool.register(0)
+    assert b_old.epoch == 0
+    assert pool.advance_epoch(0) == 1
+    b_new = pool.register(0)
+    assert b_new is not b_old and b_new.epoch == 1
+    assert pool.snapshot()["epochs"] == [1, 0]
+
+
+def test_retired_epoch_stops_admitting_and_polling():
+    sim, pool = make_pool()
+    b_old = pool.register(0)
+    pool.advance_epoch(0)
+    b_new = pool.register(0)
+    assert b_old.admits(0) and b_new.admits(0)
+    pool.retire(0, 0)
+    assert b_old.retired and not b_new.retired
+    assert not b_old.admits(0) and b_new.admits(0)
+    # A retired backend's submissions bounce and its polls are empty.
+    assert b_old.submit_batch([spec("x")], lane=0) == [None]
+    assert b_old.poll_completions() == []
+
+
+def test_dead_epoch_completions_tombstone_not_misdeliver():
+    # Ops submitted by epoch 0 complete after the incarnation died; the
+    # successor (epoch 1) polls the same lanes and must never see them.
+    sim, pool = make_pool()
+    b_old = pool.register(0)
+    assert b_old.submit_batch([spec("stale")], lane=0)[0] is not None
+    pool.advance_epoch(0)
+    pool.retire(0, 0)
+    assert pool.dead_epoch_inflight() == 1
+    b_new = pool.register(0)
+    sim.run(until=0.05)
+    assert b_new.poll_completions() == []
+    assert pool.tombstone_drops == 1
+    assert pool.tombstone_log == [(sim.now, 0, 0)]
+    assert pool.dead_epoch_inflight() == 0
+
+
+def test_retire_tombstones_parked_inbox_completions():
+    # A completion already routed to the dead incarnation's inbox is
+    # tombstoned at retire time, not delivered to anyone later.
+    sim, pool = make_pool(policy=SharedPolicy())
+    b0, b1 = pool.register(0), pool.register(1)
+    assert b0.submit_batch([spec("w0-op")], lane=2)[0] is not None
+    sim.run(until=0.05)
+    # Worker 1 polls lane 2 first and parks w0's completion in its inbox.
+    assert b1.poll_completions() == []
+    assert pool.inbox_depth(0) == 1
+    pool.retire(0, 0)
+    assert pool.inbox_depth(0) == 0
+    assert pool.tombstone_drops == 1
+
+
+def test_reclaim_leases_donates_to_survivors_round_robin():
+    sim, pool = make_pool(n_workers=2, n_instances=4)
+    moves = pool.reclaim_leases(0)
+    assert moves == [(0, 1), (1, 1)]
+    assert pool.lease_counts() == [0, 4]
+    assert pool.reclaimed == 2
+    assert not pool.admits(0, 0) and pool.admits(1, 0)
+    # Sole-survivor edge: nothing to donate to.
+    sim2, pool2 = make_pool(n_workers=1, n_instances=2)
+    assert pool2.reclaim_leases(0) == []
+
+
+def test_retire_is_idempotent():
+    _, pool = make_pool()
+    pool.register(0)
+    pool.advance_epoch(0)
+    assert pool.retire(0, 0) == 0  # nothing in flight
+    assert pool.retire(0, 0) == 0
+    assert pool.is_retired(0, 0) and not pool.is_retired(0, 1)

@@ -140,3 +140,32 @@ def test_interrupt_notify_requires_static_policy():
         server_config_from_text(
             "ssl_engine { use qat_engine; qat_engine { "
             "qat_notify_mode interrupt; qat_instance_policy shared; } }")
+
+
+def test_lifecycle_directives():
+    cfg = server_config_from_text("""
+        worker_respawn off;
+        max_respawns 2;
+        worker_drain_timeout 0.03;
+    """)
+    assert cfg.worker_respawn is False
+    assert cfg.max_respawns == 2
+    assert cfg.worker_drain_timeout == 0.03
+
+
+def test_lifecycle_defaults():
+    cfg = server_config_from_text("worker_processes 2;")
+    assert cfg.worker_respawn is True
+    assert cfg.max_respawns == 5
+    assert cfg.worker_drain_timeout == 50e-3
+
+
+@pytest.mark.parametrize("bad,msg", [
+    ("max_respawns -1;", "max_respawns must be >= 0"),
+    ("worker_drain_timeout 0;", "worker_drain_timeout must be positive"),
+    ("worker_drain_timeout -0.1;",
+     "worker_drain_timeout must be positive"),
+])
+def test_lifecycle_directives_rejected(bad, msg):
+    with pytest.raises(ConfError, match=msg):
+        server_config_from_text(bad)
