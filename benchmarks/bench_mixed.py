@@ -1,0 +1,51 @@
+"""Class-aware offload scheduling under a mixed record + handshake
+load.
+
+Runnable standalone for CI smoke checks::
+
+    PYTHONPATH=src python benchmarks/bench_mixed.py --smoke
+
+exits non-zero if any scheduling check fails. Also writes a
+machine-readable ``BENCH_mixed.json`` (handshake p99 / CPS / record
+throughput per policy) so the perf trajectory is tracked across PRs.
+"""
+
+from repro.bench.experiments import run_mixed
+
+
+def test_mixed(run_experiment):
+    run_experiment(run_mixed)
+
+
+def summary_payload(result) -> dict:
+    """Per-policy metrics from the result rows, in a stable
+    machine-readable shape."""
+    payload: dict = {"experiment": result.exp_id, "policies": {}}
+    for row in result.rows:
+        pol = payload["policies"].setdefault(row["policy"], {})
+        pol[row["metric"]] = row["value"]
+    payload["checks_pass"] = result.all_checks_pass
+    return payload
+
+
+if __name__ == "__main__":
+    import argparse
+    import json
+    import sys
+
+    parser = argparse.ArgumentParser(
+        description="class-aware offload scheduling experiment")
+    parser.add_argument("--smoke", action="store_true",
+                        help="short windows (CI)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", default="BENCH_mixed.json",
+                        help="machine-readable summary path")
+    args = parser.parse_args()
+
+    result = run_mixed(quick=True, seed=args.seed, smoke=args.smoke)
+    print(result.render())
+    with open(args.out, "w") as fh:
+        json.dump(summary_payload(result), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    sys.exit(0 if result.all_checks_pass else 1)

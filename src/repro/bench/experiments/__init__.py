@@ -10,6 +10,7 @@ from .scaling import run as run_scaling
 from .ext_tls13_resumption import run as run_ext_tls13_resumption
 from .faults import run as run_faults
 from .lifecycle import run as run_lifecycle
+from .mixed import run as run_mixed
 from .trace_overhead import run as run_trace_overhead
 from .utilization import run as run_utilization
 from .fig7 import run_fig7a, run_fig7b, run_fig7c
@@ -44,6 +45,7 @@ ALL_EXPERIMENTS = {
     "ext-tls13-resumption": run_ext_tls13_resumption,
     "faults": run_faults,
     "lifecycle": run_lifecycle,
+    "mixed": run_mixed,
     "backends": run_backends,
     "scaling": run_scaling,
     "trace_overhead": run_trace_overhead,

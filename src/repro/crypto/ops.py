@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Dict, Optional
 
-__all__ = ["CryptoOpKind", "OpCategory", "CryptoOp"]
+__all__ = ["CryptoOpKind", "OpCategory", "CryptoOp", "SCHED_CLASSES"]
 
 
 class OpCategory(str, Enum):
@@ -23,6 +23,24 @@ class OpCategory(str, Enum):
     ASYM = "asym"       # Rasym: RSA/ECC asymmetric ops
     CIPHER = "cipher"   # Rcipher: chained record ciphers
     PRF = "prf"         # Rprf: key-derivation ops
+
+    @property
+    def sched_class(self) -> str:
+        """The scheduling class (admission lane) this category maps to
+        in the class-aware offload scheduler."""
+        return SCHED_CLASSES[self]
+
+
+#: Scheduling-class names per category: the admission lanes of the
+#: class-aware offload scheduler (``repro.offload.scheduler``).
+#: Handshake-critical asymmetric ops, bulk record ciphers and key
+#: derivation contend differently for the accelerator, so each gets
+#: its own lane.
+SCHED_CLASSES = {
+    OpCategory.ASYM: "handshake-asym",
+    OpCategory.CIPHER: "record-cipher",
+    OpCategory.PRF: "prf",
+}
 
 
 class CryptoOpKind(Enum):

@@ -13,7 +13,7 @@ constructor and introspection surface (``drivers``, ``driver``, ...).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from ..core.costmodel import CostModel
 from ..cpu.core import Core
@@ -52,6 +52,9 @@ class QatEngine(AsyncOffloadEngine, Engine):
                  batch_size: int = 1,
                  batch_timeout: float = 50e-6,
                  admission_limit: Optional[int] = None,
+                 sched_policy: str = "fifo",
+                 sched_weights: Optional[Dict[str, int]] = None,
+                 conn_budget: Optional[int] = None,
                  backoff_jitter_seed: Optional[int] = None) -> None:
         if isinstance(driver, QatUserspaceDriver):
             drivers = [driver]
@@ -71,6 +74,9 @@ class QatEngine(AsyncOffloadEngine, Engine):
             batch_size=batch_size,
             batch_timeout=batch_timeout,
             admission_limit=admission_limit,
+            sched_policy=sched_policy,
+            sched_weights=sched_weights,
+            conn_budget=conn_budget,
             backoff_jitter_seed=backoff_jitter_seed)
 
     @property

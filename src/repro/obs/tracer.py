@@ -135,6 +135,13 @@ class RequestTracer:
             hist = self.histograms[key] = StreamingHistogram()
         return hist
 
+    def latency_sample(self, backend: str, stage: str,
+                       duration: float) -> None:
+        """Record one duration in a named stage histogram outside the
+        span machinery — e.g. the offload scheduler's per-class
+        queue-wait times (``sched-wait.<class>``)."""
+        self._histogram(backend, stage).add(max(duration, 0.0))
+
     def util_sample(self, name: str, now: float, value: float,
                     capacity: int = 0) -> None:
         """Record a resource-occupancy change point."""

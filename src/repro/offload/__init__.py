@@ -27,6 +27,7 @@ __all__ = [
     "OpSpec", "Completion", "LaneStats", "OffloadBackend",
     "PendingOp", "CircuitBreaker", "InflightCounters",
     "AsyncOffloadEngine", "ALGORITHM_GROUPS",
+    "ClassScheduler", "SchedLane", "SCHED_POLICIES", "DEFAULT_WEIGHTS",
     "QatBackend", "RemoteAcceleratorBackend", "RemoteCryptoService",
     "InstancePool", "PooledQatBackend", "AllocationPolicy",
     "StaticPolicy", "SharedPolicy", "DynamicPolicy", "POLICIES",
@@ -43,6 +44,10 @@ _LAZY = {
     "InflightCounters": "inflight",
     "AsyncOffloadEngine": "engine",
     "ALGORITHM_GROUPS": "engine",
+    "ClassScheduler": "scheduler",
+    "SchedLane": "scheduler",
+    "SCHED_POLICIES": "scheduler",
+    "DEFAULT_WEIGHTS": "scheduler",
     "QatBackend": "qat_backend",
     "RemoteAcceleratorBackend": "remote",
     "RemoteCryptoService": "remote",

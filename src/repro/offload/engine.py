@@ -60,6 +60,7 @@ from .backend import OffloadBackend, OpSpec
 from .errors import OffloadTimeout
 from .health import CircuitBreaker, PendingOp
 from .inflight import InflightCounters
+from .scheduler import ClassScheduler
 
 __all__ = ["AsyncOffloadEngine", "ALGORITHM_GROUPS",
            "backoff_jitter_fraction"]
@@ -93,7 +94,8 @@ ALGORITHM_GROUPS = {
 class _QueuedOp:
     """One op parked in the coalescing queue, waiting for a flush."""
 
-    __slots__ = ("call", "job", "enqueued_at", "deadline", "attempts")
+    __slots__ = ("call", "job", "enqueued_at", "deadline", "attempts",
+                 "seq", "conn")
 
     def __init__(self, call: CryptoCall, job: Any, enqueued_at: float,
                  deadline: float) -> None:
@@ -102,6 +104,8 @@ class _QueuedOp:
         self.enqueued_at = enqueued_at
         self.deadline = deadline
         self.attempts = 0
+        self.seq = -1  # global arrival order, stamped by the scheduler
+        self.conn = getattr(job, "conn_id", None)
 
 
 class AsyncOffloadEngine:
@@ -127,6 +131,9 @@ class AsyncOffloadEngine:
                  batch_size: int = 1,
                  batch_timeout: float = 50e-6,
                  admission_limit: Optional[int] = None,
+                 sched_policy: str = "fifo",
+                 sched_weights: Optional[Dict[str, int]] = None,
+                 conn_budget: Optional[int] = None,
                  backoff_jitter_seed: Optional[int] = None) -> None:
         if request_deadline <= 0:
             raise ValueError("request deadline must be positive")
@@ -170,12 +177,19 @@ class AsyncOffloadEngine:
         self._flushing = False
         self._flush_timer_active = False
         #: Admission control (``admission_limit`` set): ops accepted by
-        #: the engine while ``inflight`` is at the cap. FIFO — overload
-        #: degrades into bounded queueing instead of ring-full retry
-        #: storms. NOT counted in ``inflight`` (they are not on the
-        #: accelerator and must not block their own admission).
+        #: the engine while ``inflight`` is at the cap. Queued on the
+        #: class-aware scheduler's per-class lanes — overload degrades
+        #: into bounded queueing instead of ring-full retry storms. NOT
+        #: counted in ``inflight`` (they are not on the accelerator and
+        #: must not block their own admission). With the default
+        #: ``fifo`` policy the lanes drain in global arrival order —
+        #: bit-for-bit the historical single FIFO.
         self.admission_limit = admission_limit
-        self._admission: Deque[_QueuedOp] = deque()
+        self.sched_policy = sched_policy
+        self.conn_budget = conn_budget
+        self.scheduler = ClassScheduler(policy=sched_policy,
+                                        weights=sched_weights,
+                                        conn_budget=conn_budget)
         self.admission_enqueued = 0
         self.admission_admitted = 0
         self.admission_peak = 0
@@ -235,6 +249,39 @@ class AsyncOffloadEngine:
     def mean_batch_size(self) -> float:
         return (self.batch_ops / self.batches_submitted
                 if self.batches_submitted else 0.0)
+
+    @property
+    def queueing_enabled(self) -> bool:
+        """Does the engine park ops in the admission lanes instead of
+        bouncing them back to the caller (admission cap, non-default
+        arbitration, or per-connection budgets)?"""
+        return (self.admission_limit is not None
+                or self.sched_policy != "fifo"
+                or self.conn_budget is not None)
+
+    @property
+    def sched_active(self) -> bool:
+        """Non-default scheduling: anything beyond the plain global
+        FIFO (used to gate lane reporting so default configs stay
+        bit-for-bit identical to the pre-scheduler engine)."""
+        return self.sched_policy != "fifo" or self.conn_budget is not None
+
+    # -- in-flight accounting (single source of truth) -----------------------
+
+    def _op_accepted(self, call: CryptoCall, job: object = None) -> None:
+        """An op entered the accelerator path (in flight or coalescing
+        queue). The ONLY place the per-category Rasym/Rcipher/Rprf
+        counters — and the per-connection budget — are charged; the
+        poller, stub_status and the scheduler all read these counters
+        rather than keeping shadow accounting."""
+        self.inflight.increment(call.op.category)
+        self.scheduler.conn_acquire(getattr(job, "conn_id", None))
+
+    def _op_retired(self, call: CryptoCall, job: object = None) -> None:
+        """The op left the accelerator path (delivered, expired,
+        drained or aborted): uncharge the same counters."""
+        self.inflight.decrement(call.op.category)
+        self.scheduler.conn_release(getattr(job, "conn_id", None))
 
     def _pick_lane(self) -> Optional[int]:
         """Rotate to the next lane the backend leases to this engine
@@ -363,7 +410,7 @@ class AsyncOffloadEngine:
         if trace is not None:
             trace.accept(sim.now, self.backend.name, lane,
                          attempts=attempts - 1)
-        self.inflight.increment(call.op.category)
+        self._op_accepted(call)
         self.ops_offloaded += 1
         wait_started = self.core.sim.now
         deadline = wait_started + self.request_deadline
@@ -382,7 +429,7 @@ class AsyncOffloadEngine:
                 break
             if self.core.sim.now >= deadline:
                 self.blocking_wait_time += self.core.sim.now - wait_started
-                self.inflight.decrement(call.op.category)
+                self._op_retired(call)
                 self.op_timeouts += 1
                 self.backend.lane_stats(lane).op_timeouts += 1
                 self.breakers[lane].record_failure()
@@ -396,7 +443,7 @@ class AsyncOffloadEngine:
                     lane=lane))
             yield from self.core.consume(self.busy_poll_slice, owner=owner)
         self.blocking_wait_time += self.core.sim.now - wait_started
-        self.inflight.decrement(call.op.category)
+        self._op_retired(call)
         if trace is not None:
             trace.absorb_device_marks(resp.device_marks)
             trace.mark("delivered", sim.now)
@@ -418,6 +465,20 @@ class AsyncOffloadEngine:
 
     # -- asynchronous offload ----------------------------------------------------
 
+    def _must_queue(self, job: object) -> bool:
+        """Should this submission park in the admission lanes rather
+        than go straight to the backend? True at the admission cap,
+        behind already-queued ops (so the arbitration policy — global
+        FIFO by default — stays authoritative over ordering), or when
+        the connection is at its in-flight budget."""
+        s = self.scheduler
+        if not s.conn_allows(getattr(job, "conn_id", None)):
+            return True
+        if self.admission_limit is not None and (
+                s.queued or self.inflight.total >= self.admission_limit):
+            return True
+        return self.sched_policy != "fifo" and bool(s.queued)
+
     def submit_async(self, call: CryptoCall, job: object, owner: object
                      ) -> Generator:
         """Submit without waiting; the response resumes ``job`` later.
@@ -437,11 +498,10 @@ class AsyncOffloadEngine:
         if not self.offloads(call):
             raise ValueError(
                 f"submit_async on non-offloadable op {call.op.kind}")
-        if self.admission_limit is not None and (
-                self._admission
-                or self.inflight.total >= self.admission_limit):
-            # At the concurrency cap (or behind ops already queued —
-            # FIFO order is part of the contract): bounded queueing.
+        if self._must_queue(job):
+            # At the concurrency cap, behind ops already queued (the
+            # arbitration order is part of the contract), or the
+            # connection is at its in-flight budget: bounded queueing.
             return self._admission_enqueue(call, job)
         if self.batch_size > 1:
             return (yield from self._submit_batched(call, job, owner))
@@ -450,8 +510,8 @@ class AsyncOffloadEngine:
         self.submit_time += submit_cost
         submitted = self._try_submit(call.op, call.compute, cookie=job)
         if submitted is None:
-            if self.admission_limit is not None:
-                # Ring backpressure with admission control on: queue
+            if self.queueing_enabled:
+                # Ring backpressure with queueing on: park the op
                 # instead of bouncing the job into a WANT_RETRY storm.
                 return self._admission_enqueue(call, job)
             job.submit_attempts = getattr(job, "submit_attempts", 0) + 1
@@ -466,7 +526,7 @@ class AsyncOffloadEngine:
             call=call, job=job, lane=lane, submitted_at=now,
             deadline=now + self.request_deadline)
         job.submit_attempts = 0
-        self.inflight.increment(call.op.category)
+        self._op_accepted(call, job)
         self.ops_offloaded += 1
         return True
 
@@ -486,7 +546,7 @@ class AsyncOffloadEngine:
             trace.mark("enqueued", now)
         self._batch.append(_QueuedOp(call, job, now,
                                      now + self.request_deadline))
-        self.inflight.increment(call.op.category)
+        self._op_accepted(call, job)
         job.submit_attempts = 0
         if len(self._batch) >= self.batch_size:
             yield from self._flush_batch(owner)
@@ -517,7 +577,7 @@ class AsyncOffloadEngine:
                 # any job's own ops.
                 room: Dict[object, int] = {}
                 take: List[_QueuedOp] = []
-                for q in self._batch:
+                for q in self.scheduler.flush_order(self._batch):
                     cat = q.call.op.category
                     if cat not in room:
                         room[cat] = self.backend.capacity_hint(lane, cat)
@@ -624,7 +684,7 @@ class AsyncOffloadEngine:
             if not (timed_out or exhausted or no_lane):
                 continue
             self._batch.remove(q)
-            self.inflight.decrement(q.call.op.category)
+            self._op_retired(q.call, q.job)
             if timed_out:
                 self.op_timeouts += 1
             job = q.job
@@ -645,12 +705,17 @@ class AsyncOffloadEngine:
 
     @property
     def admission_queued(self) -> int:
-        """Ops waiting in the admission queue (not yet offloaded)."""
-        return len(self._admission)
+        """Ops waiting in the admission lanes (not yet offloaded)."""
+        return self.scheduler.queued
+
+    def _admission_capacity(self) -> bool:
+        """Is there in-flight headroom to admit another queued op?"""
+        return (self.admission_limit is None
+                or self.inflight.total < self.admission_limit)
 
     def _admission_enqueue(self, call: CryptoCall, job: object) -> bool:
-        """Park the op in the FIFO backpressure queue; always accepted
-        (the job pauses exactly as if the op were in flight)."""
+        """Park the op on its class lane; always accepted (the job
+        pauses exactly as if the op were in flight)."""
         now = self.core.sim.now
         mark_paused = getattr(job, "mark_paused", None)
         if mark_paused is not None:
@@ -658,41 +723,55 @@ class AsyncOffloadEngine:
         trace = getattr(job, "trace", None)
         if trace is not None:
             trace.mark("enqueued", now)
-        self._admission.append(_QueuedOp(call, job, now,
-                                         now + self.request_deadline))
+        self.scheduler.push(_QueuedOp(call, job, now,
+                                      now + self.request_deadline),
+                            call.op.category)
         self.admission_enqueued += 1
-        if len(self._admission) > self.admission_peak:
-            self.admission_peak = len(self._admission)
+        if self.scheduler.queued > self.admission_peak:
+            self.admission_peak = self.scheduler.queued
         job.submit_attempts = 0
         self._sample_admission(now)
         return True
 
+    def _note_admitted(self, q: _QueuedOp) -> None:
+        """A queued op left the lanes for the accelerator path: feed
+        the per-class queue-wait histogram."""
+        self.admission_admitted += 1
+        obs = getattr(self.core.sim, "obs", None)
+        if obs is not None and obs.enabled:
+            obs.latency_sample(
+                self.backend.name,
+                f"sched-wait.{q.call.op.category.sched_class}",
+                self.core.sim.now - q.enqueued_at)
+
     def admit_queued(self, owner: object) -> Generator:
-        """Admit queued ops into freed in-flight capacity, in FIFO
-        order, through the normal submit path (direct or coalescing).
-        Stops on ring backpressure. Returns ops admitted."""
+        """Admit queued ops into freed in-flight capacity, in the
+        arbitration policy's order (global arrival order under the
+        default ``fifo``), through the normal submit path (direct or
+        coalescing). Stops on ring backpressure. Returns ops
+        admitted."""
         admitted = 0
-        while (self._admission
-               and self.inflight.total < self.admission_limit):
-            q = self._admission[0]
+        s = self.scheduler
+        while s.queued and self._admission_capacity():
+            q = s.pop()
+            if q is None:
+                break  # every queued op is budget-blocked
             state = getattr(q.job, "state", None)
             if state is not None and state.name != "PAUSED":
                 # Rescued/aborted while queued; nothing to submit.
-                self._admission.popleft()
                 continue
             if self.batch_size > 1:
-                self._admission.popleft()
                 self._batch.append(q)
-                self.inflight.increment(q.call.op.category)
-                self.admission_admitted += 1
+                self._op_accepted(q.call, q.job)
+                self._note_admitted(q)
                 admitted += 1
                 if len(self._batch) >= self.batch_size:
                     yield from self._flush_batch(owner)
                 self._arm_flush_timer()
                 continue
-            # Unbatched: pop before consuming core time so the expiry
-            # paths cannot fail the op over while we submit it.
-            self._admission.popleft()
+            # Unbatched: the pop above already removed the op, so the
+            # expiry paths cannot fail it over while we consume core
+            # time to submit it.
             submit_cost = self.backend.submit_cpu_cost(1)
             yield from self.core.consume(submit_cost, owner=owner)
             self.submit_time += submit_cost
@@ -703,7 +782,7 @@ class AsyncOffloadEngine:
                                          cookie=q.job)
             if submitted is None:
                 q.attempts += 1
-                self._admission.appendleft(q)
+                s.push_front(q, q.call.op.category)
                 break
             token, lane = submitted
             now = self.core.sim.now
@@ -714,9 +793,9 @@ class AsyncOffloadEngine:
             self._pending[token] = PendingOp(
                 call=q.call, job=q.job, lane=lane,
                 submitted_at=now, deadline=q.deadline)
-            self.inflight.increment(q.call.op.category)
+            self._op_accepted(q.call, q.job)
             self.ops_offloaded += 1
-            self.admission_admitted += 1
+            self._note_admitted(q)
             admitted += 1
         if admitted:
             self._sample_admission(self.core.sim.now)
@@ -730,15 +809,16 @@ class AsyncOffloadEngine:
         now = self.core.sim.now
         jobs: List[object] = []
         no_lane = not self._any_lane_available()
-        for q in list(self._admission):
-            if q not in self._admission:
+        for q in self.scheduler.items():
+            if q not in self.scheduler:
                 continue
             if now - q.enqueued_at < self.batch_timeout:
                 continue
             timed_out = now >= q.deadline
             if not (timed_out or no_lane):
                 continue
-            self._admission.remove(q)
+            self.scheduler.remove(q)
+            self.scheduler.note_expired(q.call.op.category)
             if timed_out:
                 self.op_timeouts += 1
             job = q.job
@@ -759,10 +839,19 @@ class AsyncOffloadEngine:
 
     def _sample_admission(self, now: float) -> None:
         obs = getattr(self.core.sim, "obs", None)
-        if obs is not None and obs.enabled:
-            obs.util_sample(f"w{self.core.core_id}.admission", now,
-                            len(self._admission),
-                            capacity=self.admission_limit or 0)
+        if obs is None or not obs.enabled:
+            return
+        obs.util_sample(f"w{self.core.core_id}.admission", now,
+                        self.scheduler.queued,
+                        capacity=self.admission_limit or 0)
+        if self.sched_active:
+            # Per-lane depth timelines only under non-default
+            # scheduling, so default-config trace exports stay
+            # byte-identical to the pre-scheduler engine.
+            for lane in self.scheduler.lanes:
+                obs.util_sample(
+                    f"w{self.core.core_id}.lane.{lane.name}",
+                    now, lane.depth)
 
     @property
     def queued_batch_ops(self) -> int:
@@ -792,7 +881,7 @@ class AsyncOffloadEngine:
         parked in the coalescing or admission queue)?"""
         return (any(p.job is job for p in self._pending.values())
                 or any(q.job is job for q in self._batch)
-                or any(q.job is job for q in self._admission))
+                or any(q.job is job for q in self.scheduler.items()))
 
     # -- worker lifecycle (drain / crash) -----------------------------------
 
@@ -801,7 +890,7 @@ class AsyncOffloadEngine:
         """No accepted op anywhere in the engine — in flight, in the
         coalescing queue, or awaiting admission. The drained condition
         the lifecycle layer waits on."""
-        return not (self._pending or self._batch or self._admission)
+        return not (self._pending or self._batch or self.scheduler.queued)
 
     def drain_queued(self, owner: object) -> Generator:
         """Worker drain: fail every queued-but-unsubmitted op over to
@@ -811,14 +900,20 @@ class AsyncOffloadEngine:
         connection past the drain deadline. In-flight ops are left to
         complete normally. Returns the jobs resumed."""
         jobs: List[object] = []
-        had_admission = bool(self._admission)
-        for queue in (self._batch, self._admission):
-            for q in list(queue):
-                if q not in queue:
-                    continue
-                queue.remove(q)
-                if queue is self._batch:
-                    self.inflight.decrement(q.call.op.category)
+        had_admission = bool(self.scheduler.queued)
+        for source in ("batch", "admission"):
+            items = (list(self._batch) if source == "batch"
+                     else self.scheduler.items())
+            for q in items:
+                if source == "batch":
+                    if q not in self._batch:
+                        continue
+                    self._batch.remove(q)
+                    self._op_retired(q.call, q.job)
+                else:
+                    if q not in self.scheduler:
+                        continue
+                    self.scheduler.remove(q)
                 self.ops_drained += 1
                 job = q.job
                 state = getattr(job, "state", None)
@@ -850,16 +945,16 @@ class AsyncOffloadEngine:
         aborted = 0
         for token in list(self._pending):
             p = self._pending.pop(token)
-            self.inflight.decrement(p.call.op.category)
+            self._op_retired(p.call, p.job)
             self._abort_trace(p.job, obs, sim.now)
             aborted += 1
         while self._batch:
             q = self._batch.popleft()
-            self.inflight.decrement(q.call.op.category)
+            self._op_retired(q.call, q.job)
             self._abort_trace(q.job, obs, sim.now)
             aborted += 1
-        while self._admission:
-            q = self._admission.popleft()
+        for q in self.scheduler.items():
+            self.scheduler.remove(q)
             self._abort_trace(q.job, obs, sim.now)
             aborted += 1
         self.ops_aborted += aborted
@@ -902,7 +997,7 @@ class AsyncOffloadEngine:
             if pending is None:
                 self.responses_stale += 1
                 continue
-            self.inflight.decrement(resp.op.category)
+            self._op_retired(pending.call, pending.job)
             job = pending.job
             trace = getattr(job, "trace", None)
             if trace is not None:
@@ -931,7 +1026,7 @@ class AsyncOffloadEngine:
                     or head_age >= self.batch_timeout):
                 yield from self._flush_batch(owner)
         # Admit queued ops into the in-flight capacity the drain freed.
-        if self._admission:
+        if self.scheduler.queued:
             yield from self.admit_queued(owner)
         return jobs
 
@@ -952,7 +1047,7 @@ class AsyncOffloadEngine:
             pending = self._pending.pop(token, None)
             if pending is None:
                 continue
-            self.inflight.decrement(pending.call.op.category)
+            self._op_retired(pending.call, pending.job)
             self.op_timeouts += 1
             self.backend.lane_stats(pending.lane).op_timeouts += 1
             self.breakers[pending.lane].record_failure()
@@ -969,9 +1064,9 @@ class AsyncOffloadEngine:
             jobs.append(job)
         if self._batch:
             jobs.extend((yield from self._expire_queued(owner)))
-        if self._admission:
+        if self.scheduler.queued:
             jobs.extend((yield from self._expire_admission(owner)))
-            if self._admission:
+            if self.scheduler.queued:
                 yield from self.admit_queued(owner)
         return jobs
 
@@ -989,10 +1084,10 @@ class AsyncOffloadEngine:
         for q in list(self._batch):
             if q.job is job:
                 self._batch.remove(q)
-                self.inflight.decrement(q.call.op.category)
-        for q in list(self._admission):
+                self._op_retired(q.call, q.job)
+        for q in self.scheduler.items():
             if q.job is job:
-                self._admission.remove(q)
+                self.scheduler.remove(q)
         pending = PendingOp(call=call, job=job, lane=-1,
                             submitted_at=self.core.sim.now,
                             deadline=self.core.sim.now)

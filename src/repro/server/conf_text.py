@@ -177,9 +177,59 @@ def _parse_ssl_engine(block: Block) -> SslEngineConfig:
                     f"offload_admission_limit must be >= 1, got {limit} "
                     "(omit the directive to disable admission control)")
             engine.offload_admission_limit = limit
+        elif directive == "offload_sched_policy":
+            policy = _one(value, directive)
+            from ..offload.scheduler import SCHED_POLICIES
+            if policy not in SCHED_POLICIES:
+                raise ConfError(
+                    f"unknown scheduling policy {policy!r}; expected "
+                    f"{', '.join(SCHED_POLICIES)}")
+            engine.offload_sched_policy = policy
+        elif directive == "offload_sched_weights":
+            engine.offload_sched_weights = _parse_sched_weights(
+                _one(value, directive))
+        elif directive == "offload_conn_budget":
+            budget = int(_one(value, directive))
+            if budget < 1:
+                raise ConfError(
+                    f"offload_conn_budget must be >= 1, got {budget} "
+                    "(omit the directive to disable per-connection "
+                    "budgets)")
+            engine.offload_conn_budget = budget
         else:
             raise ConfError(f"unknown ssl_engine directive {directive!r}")
     return engine
+
+
+def _parse_sched_weights(spec: str) -> Dict[str, int]:
+    """``class=weight[,class=weight...]`` — e.g.
+    ``handshake-asym=8,prf=2,record-cipher=1``."""
+    from ..offload.scheduler import DEFAULT_WEIGHTS
+    weights: Dict[str, int] = {}
+    for part in spec.split(","):
+        if not part:
+            continue
+        name, sep, raw = part.partition("=")
+        if not sep or not raw:
+            raise ConfError(
+                f"malformed weight {part!r}; expected class=weight")
+        if name not in DEFAULT_WEIGHTS:
+            raise ConfError(
+                f"unknown scheduling class {name!r}; expected one of "
+                f"{', '.join(sorted(DEFAULT_WEIGHTS))}")
+        try:
+            weight = int(raw)
+        except ValueError:
+            raise ConfError(
+                f"weight for {name!r} must be an integer, "
+                f"got {raw!r}") from None
+        if weight < 1:
+            raise ConfError(f"weight for {name!r} must be >= 1")
+        weights[name] = weight
+    if not weights:
+        raise ConfError("offload_sched_weights needs at least one "
+                        "class=weight pair")
+    return weights
 
 
 def _parse_remote_accelerator(block: Block,

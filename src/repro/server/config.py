@@ -7,7 +7,7 @@ paper's extended Nginx conf exposes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Dict, Tuple
 
 __all__ = ["SslEngineConfig", "ServerConfig"]
 
@@ -71,6 +71,20 @@ class SslEngineConfig:
     #: backpressure queue inside the engine instead of bouncing off
     #: full rings. 0 disables (unbounded, the paper's behaviour).
     offload_admission_limit: int = 0
+    #: Arbitration policy for the class-aware admission lanes: "fifo"
+    #: (global arrival order — bit-for-bit the pre-scheduler engine),
+    #: "strict-priority" (handshake-asym > prf > record-cipher, with a
+    #: starvation-proof deficit fallback) or "weighted-fair" (deficit
+    #: round robin by ``offload_sched_weights``).
+    offload_sched_policy: str = "fifo"
+    #: Weighted-fair quanta per scheduling class (ops per round);
+    #: unlisted classes keep their defaults (handshake-asym=8, prf=2,
+    #: record-cipher=1).
+    offload_sched_weights: Dict[str, int] = field(default_factory=dict)
+    #: Per-connection in-flight budget: at most this many ops from one
+    #: connection concurrently on the accelerator path; excess ops wait
+    #: in their class lane. 0 disables (unbounded).
+    offload_conn_budget: int = 0
     #: Remote-accelerator backend (offload_backend "remote"): service
     #: processor pool, per-worker credit window, link characteristics
     #: and a scale factor on the QAT-calibrated service times.
@@ -132,6 +146,23 @@ class SslEngineConfig:
             raise ValueError("rebalance interval must be positive")
         if self.offload_admission_limit < 0:
             raise ValueError("admission limit must be >= 0 (0 disables)")
+        from ..offload.scheduler import DEFAULT_WEIGHTS, SCHED_POLICIES
+        if self.offload_sched_policy not in SCHED_POLICIES:
+            raise ValueError(
+                f"unknown scheduling policy {self.offload_sched_policy!r}; "
+                f"expected one of {', '.join(SCHED_POLICIES)}")
+        for name, weight in self.offload_sched_weights.items():
+            if name not in DEFAULT_WEIGHTS:
+                raise ValueError(
+                    f"unknown scheduling class {name!r}; expected one of "
+                    f"{', '.join(sorted(DEFAULT_WEIGHTS))}")
+            if not isinstance(weight, int) or weight < 1:
+                raise ValueError(
+                    f"scheduling weight for {name!r} must be an "
+                    "integer >= 1")
+        if self.offload_conn_budget < 0:
+            raise ValueError(
+                "per-connection budget must be >= 0 (0 disables)")
         if self.qat_request_deadline <= 0:
             raise ValueError("request deadline must be positive")
         if self.qat_watchdog_interval < 0:

@@ -170,6 +170,10 @@ class TlsServer:
                 batch_timeout=eng_cfg.qat_batch_timeout,
                 admission_limit=(
                     eng_cfg.offload_admission_limit or None),
+                sched_policy=eng_cfg.offload_sched_policy,
+                sched_weights=(
+                    dict(eng_cfg.offload_sched_weights) or None),
+                conn_budget=(eng_cfg.offload_conn_budget or None),
                 # Per-incarnation retry-backoff jitter seed: one draw
                 # from the worker's stream, so simultaneous ring-full
                 # bounces across workers desynchronize their retries

@@ -11,6 +11,11 @@ TCactive may change:
 - **timeliness**: poll immediately once Rtotal equals the number of
   active TLS connections — every active connection is waiting on the
   accelerator, so the process would otherwise stall.
+
+The Rasym/Rcipher/Rprf counters are read straight from the engine's
+:class:`~repro.offload.inflight.InflightCounters` — the single source
+of truth shared with the class-aware scheduler and stub_status; the
+poller keeps no shadow per-category accounting.
 """
 
 from __future__ import annotations
@@ -55,6 +60,14 @@ class HeuristicPoller:
         if limit is not None:
             threshold = min(threshold, limit)
         if total >= threshold:
+            return True
+        # Non-default scheduling (priority lanes / connection budgets)
+        # parks ops in the admission lanes even below the cap; poll
+        # eagerly while lanes are backed up so freed capacity admits
+        # the next policy-ordered op promptly. Gated on sched_active:
+        # default fifo configs keep the historical poll cadence
+        # bit-for-bit.
+        if self.engine.sched_active and self.engine.admission_queued > 0:
             return True
         bound = self.stub_status.tls_active
         if limit is not None:

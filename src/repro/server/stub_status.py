@@ -44,6 +44,13 @@ class StubStatus:
         self.admission_peak = 0
         self.admission_admitted = 0
         self._pool_section = False
+        # Class-aware scheduler section: arbitration policy plus
+        # per-lane depth/served/starved counters. Hidden (empty policy)
+        # under the default global FIFO with no connection budget.
+        self.sched_policy = ""
+        self.sched_conn_budget = 0
+        self.sched_lanes: dict = {}
+        self._sched_section = False
         # Lifecycle section (supervision layer): this worker's state
         # machine position, config generation, lease epoch and how many
         # times its slot has been respawned. Empty state = hidden.
@@ -130,6 +137,15 @@ class StubStatus:
         self.admission_peak = admission_peak
         self.admission_admitted = admission_admitted
 
+    def update_scheduler(self, *, policy: str, conn_budget: int,
+                         lanes: dict) -> None:
+        """Refresh the class-aware scheduler counters (the worker
+        publishes the engine scheduler's snapshot)."""
+        self._sched_section = True
+        self.sched_policy = policy
+        self.sched_conn_budget = conn_budget
+        self.sched_lanes = lanes
+
     def update_lifecycle(self, *, state: str, generation: int,
                          epoch: int, respawns: int) -> None:
         """Refresh the supervision-layer section (the master publishes
@@ -179,6 +195,14 @@ class StubStatus:
                f"peak {self.admission_peak} "
                f"admitted {self.admission_admitted}\n"
                if self._pool_section else "")
+            + (f"offload sched: policy {self.sched_policy} "
+               f"conn_budget {self.sched_conn_budget} "
+               + " ".join(
+                   f"{name}[depth {info['depth']} served {info['served']} "
+                   f"starved {info['starved']} expired {info['expired']}]"
+                   for name, info in self.sched_lanes.items())
+               + "\n"
+               if self._sched_section else "")
             + (f"lifecycle: state {self.lifecycle_state} "
                f"generation {self.lifecycle_generation} "
                f"epoch {self.lifecycle_epoch} "

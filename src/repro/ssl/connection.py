@@ -63,6 +63,10 @@ class SslConnection:
                                 rng=self.ctx.tls_config.rng)
         else:
             job = FiberAsyncJob(make_gen, kind=kind)
+        # The offload scheduler keys per-connection in-flight budgets
+        # off this (one job at a time per connection, but jobs churn
+        # across the connection's lifetime).
+        job.conn_id = self.conn_id
         return job
 
     # -- SSL entry points ----------------------------------------------------------

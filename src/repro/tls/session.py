@@ -42,22 +42,48 @@ class SessionCache:
         self.capacity = capacity
         self._store: "OrderedDict[bytes, SessionState]" = OrderedDict()
         self.hits = 0
-        self.misses = 0
+        #: Lookup found nothing at all vs. found an entry already past
+        #: its lifetime. ``misses`` stays the sum of both.
+        self.cold_misses = 0
+        self.expiry_misses = 0
+        #: Entries dropped because they outlived ``lifetime``
+        #: (lookup-side purges plus put-side sweeps).
+        self.expired_evictions = 0
+
+    @property
+    def misses(self) -> int:
+        return self.cold_misses + self.expiry_misses
+
+    def _expired(self, state: SessionState) -> bool:
+        return self.sim.now - state.created_at > self.lifetime
+
+    def _sweep_expired(self) -> None:
+        """Drop every dead entry. Without this, a cache full of
+        expired sessions LRU-evicts *live* ones first: expired entries
+        were only ever purged on lookup, never by ``put``."""
+        dead = [sid for sid, state in self._store.items()
+                if self._expired(state)]
+        for sid in dead:
+            del self._store[sid]
+        self.expired_evictions += len(dead)
 
     def put(self, state: SessionState) -> None:
         self._store[state.session_id] = state
         self._store.move_to_end(state.session_id)
+        if len(self._store) > self.capacity:
+            self._sweep_expired()
         while len(self._store) > self.capacity:
             self._store.popitem(last=False)
 
     def get(self, session_id: bytes) -> Optional[SessionState]:
         state = self._store.get(session_id)
         if state is None:
-            self.misses += 1
+            self.cold_misses += 1
             return None
-        if self.sim.now - state.created_at > self.lifetime:
+        if self._expired(state):
             del self._store[session_id]
-            self.misses += 1
+            self.expired_evictions += 1
+            self.expiry_misses += 1
             return None
         self.hits += 1
         self._store.move_to_end(session_id)

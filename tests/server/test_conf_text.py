@@ -134,6 +134,49 @@ def test_pool_directives_rejected(bad, msg):
         server_config_from_text(bad)
 
 
+def test_scheduler_directives():
+    cfg = server_config_from_text(
+        "ssl_engine { use qat_engine; "
+        "offload_sched_policy weighted-fair; "
+        "offload_sched_weights handshake-asym=6,record-cipher=2; "
+        "offload_conn_budget 4; }")
+    eng = cfg.ssl_engine
+    assert eng.offload_sched_policy == "weighted-fair"
+    assert eng.offload_sched_weights == {"handshake-asym": 6,
+                                         "record-cipher": 2}
+    assert eng.offload_conn_budget == 4
+
+
+def test_scheduler_directive_defaults():
+    cfg = server_config_from_text("ssl_engine { use qat_engine; }")
+    assert cfg.ssl_engine.offload_sched_policy == "fifo"
+    assert cfg.ssl_engine.offload_sched_weights == {}
+    assert cfg.ssl_engine.offload_conn_budget == 0  # unbounded
+
+
+@pytest.mark.parametrize("bad,msg", [
+    ("ssl_engine { use qat_engine; offload_sched_policy lottery; }",
+     "unknown scheduling policy"),
+    ("ssl_engine { use qat_engine; "
+     "offload_sched_weights bulk=3; }",
+     "unknown scheduling class"),
+    ("ssl_engine { use qat_engine; "
+     "offload_sched_weights prf=0; }",
+     "must be >= 1"),
+    ("ssl_engine { use qat_engine; "
+     "offload_sched_weights prf; }",
+     "expected class=weight"),
+    ("ssl_engine { use qat_engine; "
+     "offload_sched_weights prf=two; }",
+     "must be an integer"),
+    ("ssl_engine { use qat_engine; offload_conn_budget 0; }",
+     "offload_conn_budget must be >= 1"),
+])
+def test_scheduler_directives_rejected(bad, msg):
+    with pytest.raises(ConfError, match=msg):
+        server_config_from_text(bad)
+
+
 def test_interrupt_notify_requires_static_policy():
     # Cross-field validation happens at the config layer, after parse.
     with pytest.raises(ValueError, match="static instance"):

@@ -76,6 +76,50 @@ def test_cache_invalidate():
     assert cache.get(b"\x01" * 16) is None
 
 
+def test_cache_expiry_miss_counted_separately():
+    sim = Simulator()
+    cache = SessionCache(sim, lifetime=10.0)
+    cache.put(_state(t=0.0))
+    sim.timeout(100.0)
+    sim.run()
+    assert cache.get(b"\x01" * 16) is None   # expired
+    assert cache.get(b"\xFF" * 16) is None   # never stored
+    assert cache.expiry_misses == 1
+    assert cache.cold_misses == 1
+    assert cache.misses == 2                 # still the sum
+    assert cache.expired_evictions == 1
+
+
+def test_cache_put_sweeps_expired_before_lru():
+    # Regression: a cache full of dead sessions must not LRU-evict a
+    # live one. Two expired entries + one live at capacity 3; a put
+    # sweeps the dead pair and keeps the live session resumable.
+    sim = Simulator()
+    cache = SessionCache(sim, lifetime=10.0, capacity=3)
+    cache.put(_state(b"d" * 16, t=0.0))      # will expire
+    cache.put(_state(b"e" * 16, t=0.0))      # will expire
+    sim.timeout(100.0)
+    sim.run()
+    cache.put(_state(b"l" * 16, t=sim.now))  # live, oldest LRU position
+    cache.put(_state(b"n" * 16, t=sim.now))  # over capacity -> sweep
+    assert cache.get(b"l" * 16) is not None
+    assert cache.get(b"n" * 16) is not None
+    assert cache.expired_evictions == 2
+    assert len(cache) == 2
+
+
+def test_cache_put_still_lru_evicts_live_overflow():
+    # All-live overflow keeps the historical LRU behaviour.
+    cache = SessionCache(Simulator(), capacity=2)
+    cache.put(_state(b"a" * 16))
+    cache.put(_state(b"b" * 16))
+    cache.put(_state(b"c" * 16))   # evicts "a" (oldest), no expiries
+    assert cache.get(b"a" * 16) is None
+    assert cache.get(b"b" * 16) is not None
+    assert cache.get(b"c" * 16) is not None
+    assert cache.expired_evictions == 0
+
+
 def test_cache_validation():
     with pytest.raises(ValueError):
         SessionCache(Simulator(), lifetime=0)

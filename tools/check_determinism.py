@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Static lint: ban nondeterminism sources from the simulation tree.
+
+Every experiment must replay bit-for-bit from its seed (DESIGN.md
+section 2), so ``src/`` must never read ambient entropy or wall-clock
+time. This scans ``src/**/*.py`` for the classic leaks:
+
+- ``time.time(`` / ``time.monotonic(`` / ``time.perf_counter(`` —
+  wall-clock reads; simulated time is ``sim.now``;
+- ``random.random(`` — the global (process-seeded) stdlib generator;
+- argless ``datetime.now()`` / ``datetime.utcnow()``;
+- argless ``np.random.default_rng()`` — an OS-entropy-seeded stream.
+
+Lines that are deliberate (e.g. wall-clock *reporting* in the CLI,
+never fed back into the simulation) opt out with a trailing
+``# determinism: allowed`` comment.
+
+Usage::
+
+    python tools/check_determinism.py
+
+exits non-zero listing every violation as ``path:line: text``.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ALLOW_MARK = "determinism: allowed"
+
+#: (pattern, why it is banned)
+BANNED = [
+    (re.compile(r"\btime\.(time|monotonic|perf_counter)\s*\("),
+     "wall-clock read; use sim.now"),
+    (re.compile(r"\brandom\.random\s*\("),
+     "process-seeded global RNG; use RngRegistry streams"),
+    (re.compile(r"\bdatetime\.(now|utcnow)\s*\(\s*\)"),
+     "wall-clock read; pass timestamps explicitly"),
+    (re.compile(r"\bdefault_rng\s*\(\s*\)"),
+     "unseeded RNG; default_rng(seed) only"),
+]
+
+
+def scan(root: Path):
+    violations = []
+    for path in sorted(root.rglob("*.py")):
+        for lineno, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), 1):
+            if ALLOW_MARK in line:
+                continue
+            for pattern, why in BANNED:
+                if pattern.search(line):
+                    violations.append(
+                        f"{path}:{lineno}: {line.strip()}  [{why}]")
+    return violations
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent / "src"
+    violations = scan(root)
+    if violations:
+        print("nondeterminism leaked into src/ "
+              f"({len(violations)} violation(s)):")
+        for v in violations:
+            print(f"  {v}")
+        print(f"\nannotate deliberate uses with '# {ALLOW_MARK}'")
+        return 1
+    print("determinism lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
