@@ -194,6 +194,11 @@ class AsyncOffloadEngine:
         self.admission_admitted = 0
         self.admission_peak = 0
         self.inflight = InflightCounters()
+        #: Lifetime accept/retire ledger (monotone; `inflight` is the
+        #: running difference). Read by repro.testing invariants to
+        #: prove exactly-once retirement; never consulted on hot paths.
+        self.ledger_accepted = 0
+        self.ledger_retired = 0
         self._enabled_kinds: Set[CryptoOpKind] = set()
         for group in algorithms:
             try:
@@ -275,12 +280,14 @@ class AsyncOffloadEngine:
         poller, stub_status and the scheduler all read these counters
         rather than keeping shadow accounting."""
         self.inflight.increment(call.op.category)
+        self.ledger_accepted += 1
         self.scheduler.conn_acquire(getattr(job, "conn_id", None))
 
     def _op_retired(self, call: CryptoCall, job: object = None) -> None:
         """The op left the accelerator path (delivered, expired,
         drained or aborted): uncharge the same counters."""
         self.inflight.decrement(call.op.category)
+        self.ledger_retired += 1
         self.scheduler.conn_release(getattr(job, "conn_id", None))
 
     def _pick_lane(self) -> Optional[int]:
@@ -834,7 +841,12 @@ class AsyncOffloadEngine:
                 owner, exc)
             jobs.append(job)
         if jobs:
-            self._sample_admission(now)
+            # Sample at the CURRENT time, not the entry snapshot: the
+            # failover deliveries above yield core time, and another
+            # engine sharing this core's timeline (a draining
+            # generation next to its successor) may have sampled a
+            # later instant during those yields.
+            self._sample_admission(self.core.sim.now)
         return jobs
 
     def _sample_admission(self, now: float) -> None:
@@ -1000,6 +1012,8 @@ class AsyncOffloadEngine:
             self._op_retired(pending.call, pending.job)
             job = pending.job
             trace = getattr(job, "trace", None)
+            if trace is not None and trace.closed:
+                trace = None  # aborted at the TLS layer; don't restamp
             if trace is not None:
                 trace.absorb_device_marks(resp.device_marks)
             breaker = self.breakers[pending.lane]
@@ -1104,6 +1118,12 @@ class AsyncOffloadEngine:
         result when enabled, the error itself otherwise."""
         job = pending.job
         trace = getattr(job, "trace", None)
+        # A job aborted at the TLS layer (connection torn down while
+        # its op was still in flight) closes its trace immediately;
+        # this late retirement must not restamp it — a "delivered"
+        # mark after ``finished`` breaks span well-formedness.
+        if trace is not None and trace.closed:
+            trace = None
         if trace is not None:
             # Timeouts (deadline missed, lost op, never-submitted) and
             # transport failovers are distinct terminal statuses; the
@@ -1119,7 +1139,9 @@ class AsyncOffloadEngine:
             job.deliver(result, None)
         else:
             job.deliver(None, exc)
-        if trace is not None:
+        # Re-check: the software-fallback execution yields core time,
+        # and a teardown interrupt in that window closes the trace.
+        if trace is not None and not trace.closed:
             trace.mark("delivered", self.core.sim.now)
         yield from self._notify_job(job, owner)
 

@@ -251,6 +251,13 @@ class InstancePool:
         self.tombstone_log: List[Tuple[float, int, int]] = []
         #: Lanes taken back from permanently-dead slots.
         self.reclaimed = 0
+        #: Lease-map snapshots, one per mutation (initial map, each
+        #: rebalance tick, each reclamation): ``(now, ((lanes of w0),
+        #: (lanes of w1), ...))``. repro.testing invariants replay the
+        #: audit to prove exclusive policies partition the instances at
+        #: every tick, not just at exit.
+        self.lease_audit: List[Tuple[float, Tuple[Tuple[int, ...], ...]]] = []
+        self._audit_leases()
 
     # -- worker-facing ------------------------------------------------------
 
@@ -341,7 +348,7 @@ class InstancePool:
             for resp in drv.poll(budget):
                 completion = completion_from_response(resp)
                 owner = self._owner.pop(resp.request, me)
-                if owner in self._retired:
+                if self.completion_retired(owner):
                     self._tombstone(owner)
                 elif owner == me:
                     out.append(completion)
@@ -399,6 +406,23 @@ class InstancePool:
     def is_retired(self, worker_id: int, epoch: int) -> bool:
         return (worker_id, epoch) in self._retired
 
+    def completion_retired(self, owner: Tuple[int, int]) -> bool:
+        """Is a surfacing completion owned by a dead incarnation?  The
+        poll loop's lease-epoch check, kept as a seam so the fuzz
+        harness (``tools/fuzz_scenarios.py --inject-bug lease-epoch``)
+        can disable it and prove the invariant suite catches the leak."""
+        return owner in self._retired
+
+    def retired_inbox_entries(self) -> int:
+        """Completions sitting in an inbox owned by a retired
+        incarnation. Always zero when the poll loop's lease-epoch check
+        holds: :meth:`retire` pops the inbox and later completions
+        tombstone at the ring; a nonzero value means a dead epoch's
+        response was queued for delivery — the leak the fuzz harness's
+        ``lease-epoch`` bug injection recreates."""
+        return sum(len(box) for key, box in self._inboxes.items()
+                   if key in self._retired)
+
     def dead_epoch_inflight(self) -> int:
         """Ownership entries still held by retired incarnations — the
         experiment's zero-leak assertion drives this to zero once the
@@ -436,6 +460,8 @@ class InstancePool:
                                 "to": dst})
             self._sample_leases(dst)
         self._sample_leases(worker_id)
+        if moves:
+            self._audit_leases()
         return moves
 
     # -- rebalancing --------------------------------------------------------
@@ -457,7 +483,13 @@ class InstancePool:
                           args={"lane": lane, "from": src, "to": dst})
             self._sample_leases(src)
             self._sample_leases(dst)
+        if moves:
+            self._audit_leases()
         return moves
+
+    def _audit_leases(self) -> None:
+        self.lease_audit.append(
+            (self.sim.now, tuple(tuple(ls) for ls in self.leases)))
 
     def _sample_leases(self, worker_id: int) -> None:
         obs = getattr(self.sim, "obs", None)

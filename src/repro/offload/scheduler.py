@@ -147,6 +147,9 @@ class ClassScheduler:
         self._drr_idx = 0
         #: Accelerator-path ops per connection (budget accounting).
         self._conn_inflight: Dict[Any, int] = {}
+        #: High-water mark across every connection ever charged — read
+        #: by repro.testing invariants (budgets must never exceed cap).
+        self.conn_peak = 0
 
     # -- introspection -------------------------------------------------------
 
@@ -243,7 +246,10 @@ class ClassScheduler:
     def conn_acquire(self, conn: Any) -> None:
         if self.conn_budget is None or conn is None:
             return
-        self._conn_inflight[conn] = self._conn_inflight.get(conn, 0) + 1
+        held = self._conn_inflight.get(conn, 0) + 1
+        self._conn_inflight[conn] = held
+        if held > self.conn_peak:
+            self.conn_peak = held
 
     def conn_release(self, conn: Any) -> None:
         if self.conn_budget is None or conn is None:

@@ -48,6 +48,12 @@ class ServerConnection:
         #: be interrupted between the CLOSED transition and the stub
         #: update, so the flag — not ``state`` — is authoritative.
         self.stub_idle: bool = False
+        #: True once stub_status counted the accept.  The accept path
+        #: yields (EPOLL_CTL kernel crossing) between inserting the
+        #: conn into the worker's table and the on_accept() update, so
+        #: a kill() landing in that window must skip the close-side
+        #: update or the alive count underflows.
+        self.stub_open: bool = False
         #: Bumped on every TLS-ASYNC parking.  Notification-queue and
         #: retry entries are stamped with it so a stale entry (the conn
         #: was already resumed through the other channel and has parked

@@ -171,6 +171,28 @@ class StubStatus:
         return (self.fallback_ops > 0 or self.op_timeouts > 0
                 or self.open_breakers > 0 or self.watchdog_rescues > 0)
 
+    def counters(self) -> dict:
+        """Machine-readable counter snapshot (the render() numbers,
+        minus formatting). Read through
+        :meth:`~repro.server.worker.Worker.status_snapshot` for a view
+        consistent with the engine/driver ledgers."""
+        return {
+            "tls_alive": self.tls_alive, "tls_idle": self.tls_idle,
+            "tls_active": self.tls_active,
+            "accepted": self.total_accepted, "closed": self.total_closed,
+            "backend": self.backend,
+            "batches_submitted": self.batches_submitted,
+            "batch_ops": self.batch_ops,
+            "fallback_ops": self.fallback_ops,
+            "op_timeouts": self.op_timeouts,
+            "open_breakers": self.open_breakers,
+            "submit_failures": self.submit_failures,
+            "watchdog_rescues": self.watchdog_rescues,
+            "admission_queued": self.admission_queued,
+            "admission_peak": self.admission_peak,
+            "admission_admitted": self.admission_admitted,
+        }
+
     def render(self) -> str:
         """The stub_status page text (Nginx style, plus the QTLS
         TLS-connection and offload-degradation extensions)."""

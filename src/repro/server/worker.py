@@ -214,8 +214,13 @@ class Worker:
             conn.ssl.abort_job()
             if not conn.sock.closed:
                 conn.sock.close()
-            self.stub_status.on_close(was_idle=was_idle)
-            self.metrics.connections_closed += 1
+            # A conn interrupted between table insertion and the
+            # accept-side stub update was never counted: closing it on
+            # the books would underflow the alive count.
+            if conn.stub_open:
+                conn.stub_open = False
+                self.stub_status.on_close(was_idle=was_idle)
+                self.metrics.connections_closed += 1
         self.conns.clear()
         self.fd_conns.clear()
         self.retries.clear()
@@ -366,6 +371,20 @@ class Worker:
                 # blocked epoll_wait sees the queued notifications.
                 self.wake_fd.write_event()
 
+    def status_snapshot(self) -> dict:
+        """Consistent stub_status read: refresh the page from the live
+        engine ledgers *in the same synchronous step*, then snapshot.
+
+        ``stub_status`` is normally only republished at watchdog ticks
+        and shutdown, so a raw ``stub_status.counters()`` read taken
+        mid-pass can lag the engine/driver counters that feed
+        ``fw_counter_totals()`` — the two disagree transiently even
+        though nothing is wrong. Reading through this helper (or
+        :meth:`TlsServer.consistent_status_snapshot`) closes that gap:
+        there is no yield between the refresh and the read."""
+        self._refresh_degradation()
+        return self.stub_status.counters()
+
     def _refresh_degradation(self) -> None:
         """Publish offload-health counters on the stub_status page."""
         eng = self.engine
@@ -410,6 +429,7 @@ class Worker:
             self.conns[sock] = conn
             yield from self.core.kernel_crossing(extra=EPOLL_CTL_COST)
             self.epoll.register(sock)
+            conn.stub_open = True
             self.stub_status.on_accept()
 
     # -- socket events ------------------------------------------------------------------
@@ -684,5 +704,6 @@ class Worker:
         # it can balance the stub_status books itself.
         was_idle = conn.stub_idle
         conn.stub_idle = False
+        conn.stub_open = False
         self.stub_status.on_close(was_idle=was_idle)
         self.metrics.connections_closed += 1

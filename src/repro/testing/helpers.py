@@ -13,19 +13,19 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, NamedTuple, Optional
 
-from .core.costmodel import CostModel
-from .cpu.core import Core
-from .crypto.ops import CryptoOp, CryptoOpKind
-from .engine.qat_engine import QatEngine
-from .obs import RequestTracer
-from .qat.device import QatDevice
-from .qat.driver import QatUserspaceDriver
-from .qat.faults import FaultPlan
-from .qat.rings import DEFAULT_RING_CAPACITY
-from .sim.kernel import Simulator
-from .sim.rng import RngRegistry
-from .ssl.async_job import FiberAsyncJob
-from .tls.actions import CryptoCall
+from ..core.costmodel import CostModel
+from ..cpu.core import Core
+from ..crypto.ops import CryptoOp, CryptoOpKind
+from ..engine.qat_engine import QatEngine
+from ..obs import RequestTracer
+from ..qat.device import QatDevice
+from ..qat.driver import QatUserspaceDriver
+from ..qat.faults import FaultPlan
+from ..qat.rings import DEFAULT_RING_CAPACITY
+from ..sim.kernel import Simulator
+from ..sim.rng import RngRegistry
+from ..ssl.async_job import FiberAsyncJob
+from ..tls.actions import CryptoCall
 
 __all__ = ["rsa_call", "make_job", "make_qat_env", "QatEnv",
            "failed_checks", "assert_checks",

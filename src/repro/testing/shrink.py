@@ -1,0 +1,185 @@
+"""Greedy minimization of failing scenario specs.
+
+When ``tools/fuzz_scenarios.py`` finds a seed whose world violates an
+invariant, the raw spec is usually far bigger than the bug needs: three
+client fleets, several fault kinds, multiple lifecycle actions. The
+shrinker repeatedly proposes smaller variants — drop a fleet, drop a
+fault, drop an action, halve the client count, halve the duration,
+remove a worker — and keeps any variant on which the scenario *still
+fails*. The result is the smallest spec this greedy pass can reach,
+replayable directly from its JSON form (shrunk specs are no longer
+derivable from the original seed).
+
+The failure oracle is a caller-supplied ``fails(spec) -> Optional[str]``
+returning a failure description (first violation, or the exception
+text) or None when the spec passes. A shrink step is accepted whenever
+the variant still fails — on *any* invariant, not necessarily the
+original one: chasing the exact same symptom makes shrinking brittle
+while any surviving violation still points at the bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator, Optional, Tuple
+
+from .scenario import ScenarioSpec
+
+__all__ = ["shrink", "shrink_report"]
+
+#: Never shrink the run below this horizon — the world needs time for
+#: at least one handshake to exercise anything.
+MIN_DURATION = 0.01
+
+#: Cap on *accepted* shrink steps. Every accepted step strictly
+#: shrinks the spec, so this only guards against a pathological
+#: oracle; real specs reach their fixpoint in a few dozen steps.
+MAX_STEPS = 200
+
+#: Fault knobs whose parameter companions must ride along when the
+#: main knob is dropped.
+_FAULT_COMPANIONS = {
+    "response_loss": ("response_loss_window",),
+    "corruption": ("corruption_window",),
+    "latency_spike_rate": ("latency_spike_window",
+                           "latency_spike_factor"),
+}
+
+
+def _without_index(items: list, idx: int) -> list:
+    return [x for i, x in enumerate(items) if i != idx]
+
+
+def _candidates(spec: ScenarioSpec) -> Iterator[Tuple[str, ScenarioSpec]]:
+    """Smaller variants, most aggressive first (dropping whole
+    dimensions before trimming within them)."""
+    # Drop a whole client fleet (keep at least one).
+    if len(spec.clients) > 1:
+        for i in range(len(spec.clients)):
+            yield (f"drop fleet {i}",
+                   replace(spec, clients=_without_index(spec.clients, i)))
+    # Drop whole fault kinds (parameter companions ride along).
+    if spec.faults:
+        for key in list(spec.faults):
+            if key.endswith(("_window", "_factor")):
+                continue  # a companion, dropped with its main knob
+            gone = {key, *_FAULT_COMPANIONS.get(key, ())}
+            smaller = {k: v for k, v in spec.faults.items()
+                       if k not in gone}
+            yield (f"drop fault {key}",
+                   replace(spec, faults=smaller or None))
+    # Drop lifecycle actions.
+    for i in range(len(spec.actions)):
+        yield (f"drop action {spec.actions[i].kind}",
+               replace(spec, actions=_without_index(spec.actions, i)))
+    # Disable tracing (if the failure is not about spans, the world
+    # shrinks a lot without it).
+    if spec.trace:
+        yield ("drop tracing", replace(spec, trace=False))
+    # Trim client counts: halve first, then step down by one so the
+    # minimum isn't stranded where halving overshoots (3 -> 1 fails to
+    # reproduce but 2 would).
+    for i, c in enumerate(spec.clients):
+        steps = {max(1, c.n_clients // 2), c.n_clients - 1}
+        for n in sorted(steps):
+            if n < 1 or n >= c.n_clients:
+                continue
+            clients = list(spec.clients)
+            clients[i] = replace(c, n_clients=n)
+            yield (f"trim fleet {i} to {n}",
+                   replace(spec, clients=clients))
+    # Shorten the run.
+    if spec.duration > MIN_DURATION * 2:
+        yield (f"halve duration to {spec.duration / 2:.3f}",
+               replace(spec, duration=spec.duration / 2))
+    # Remove workers (clamping crash slots into range; faults that
+    # target a removed slot are dropped).
+    if spec.workers > 1:
+        w = spec.workers - 1
+        actions = [a for a in spec.actions
+                   if a.kind != "crash" or a.slot < w]
+        faults = spec.faults
+        if faults and "worker_crashes" in faults:
+            crashes = [c for c in faults["worker_crashes"] if c[0] < w]
+            faults = dict(faults)
+            if crashes:
+                faults["worker_crashes"] = crashes
+            else:
+                faults.pop("worker_crashes")
+            faults = faults or None
+        yield (f"reduce to {w} worker(s)",
+               replace(spec, workers=w, actions=actions, faults=faults))
+    # Drop individual config overrides.
+    for key in list(spec.overrides):
+        if key in ("qat_rebalance_interval",) \
+                and spec.overrides.get("qat_instance_policy") == "dynamic":
+            continue  # parameter of a retained knob
+        smaller = {k: v for k, v in spec.overrides.items() if k != key}
+        if key == "qat_instance_policy":
+            smaller.pop("qat_rebalance_interval", None)
+        if key == "offload_sched_policy":
+            smaller.pop("offload_sched_weights", None)
+        yield (f"drop override {key}", replace(spec, overrides=smaller))
+
+
+def shrink(spec: ScenarioSpec,
+           fails: Callable[[ScenarioSpec], Optional[str]],
+           log: Optional[Callable[[str], None]] = None
+           ) -> Tuple[ScenarioSpec, str]:
+    """Greedily minimize ``spec`` while ``fails`` keeps reporting a
+    failure. Returns ``(minimal_spec, failure_description)``.
+
+    ``spec`` itself must fail (the caller just observed it failing);
+    raises ValueError if the oracle disagrees — a nondeterministic
+    failure is worth knowing about loudly.
+    """
+    failure = fails(spec)
+    if failure is None:
+        raise ValueError(
+            "spec passed on re-run; original failure not reproducible "
+            f"(seed {spec.seed})")
+    current = spec
+    for _ in range(MAX_STEPS):
+        improved = False
+        for label, candidate in _candidates(current):
+            try:
+                candidate_failure = fails(candidate)
+            except Exception as exc:  # the variant fails differently
+                candidate_failure = f"{type(exc).__name__}: {exc}"
+            if candidate_failure is not None:
+                if log is not None:
+                    log(f"  shrink: {label} (still fails: "
+                        f"{candidate_failure.splitlines()[0][:80]})")
+                current, failure = candidate, candidate_failure
+                improved = True
+                break  # restart candidate generation from the smaller spec
+        if not improved:
+            return current, failure
+    return current, failure
+
+
+def shrink_report(spec: ScenarioSpec, failure: str) -> str:
+    """Human-facing minimal-repro report: the spec as replayable JSON,
+    the one-line rerun command, and a pytest snippet pinning it."""
+    import json
+    spec_json = json.dumps(spec.to_dict(), sort_keys=True)
+    lines = [
+        "minimal failing scenario "
+        f"({len(spec.clients)} fleet(s), "
+        f"{len(spec.faults or {})} fault knob(s), "
+        f"{len(spec.actions)} action(s), {spec.workers} worker(s)):",
+        f"  {spec.describe()}",
+        f"  failure: {failure}",
+        "",
+        "replay:",
+        f"  python tools/fuzz_scenarios.py --spec '{spec_json}'",
+        "",
+        "pytest snippet:",
+        "  def test_shrunk_scenario_regression():",
+        "      from repro.testing.invariants import check_all",
+        "      from repro.testing.scenario import ScenarioSpec, run_scenario",
+        f"      spec = ScenarioSpec.from_dict({json.loads(spec_json)!r})",
+        "      result = run_scenario(spec)",
+        "      assert check_all(result.bed) == []",
+    ]
+    return "\n".join(lines)

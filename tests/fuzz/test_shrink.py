@@ -1,0 +1,95 @@
+"""Unit tests for the greedy scenario shrinker (no simulation runs —
+the failure oracle here is a pure predicate over the spec, so these
+exercise the candidate generation and fixpoint logic in microseconds).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testing.scenario import ActionSpec, ClientSpec, ScenarioSpec
+from repro.testing.shrink import shrink, shrink_report
+
+
+def big_spec():
+    return ScenarioSpec(
+        seed=99, config_name="QTLS", workers=3,
+        suites=("TLS-RSA",), duration=0.08, trace=True,
+        overrides={"offload_admission_limit": 8,
+                   "qat_instance_policy": "dynamic",
+                   "qat_rebalance_interval": 2e-3,
+                   "offload_sched_policy": "weighted-fair",
+                   "offload_sched_weights": {"prf": 3}},
+        clients=[ClientSpec(kind="s_time", n_clients=16),
+                 ClientSpec(kind="ab", n_clients=8),
+                 ClientSpec(kind="s_time", n_clients=4)],
+        faults={"response_loss": 0.2,
+                "response_loss_window": [0.01, 0.03],
+                "outages": [[None, 0.02, 0.04]],
+                "worker_crashes": [[2, 0.03]]},
+        actions=[ActionSpec(kind="reload", at=0.03,
+                            mutation={"qat_batch_size": 8}),
+                 ActionSpec(kind="crash", at=0.05, slot=2)],
+    )
+
+
+def test_shrink_reaches_the_predicate_minimum():
+    # The "bug" needs an outage and at least 3 clients in total —
+    # everything else is noise the shrinker must strip.
+    def fails(spec):
+        total = sum(c.n_clients for c in spec.clients)
+        if spec.faults and "outages" in spec.faults and total >= 3:
+            return "boom"
+        return None
+
+    minimal, failure = shrink(big_spec(), fails)
+    assert failure == "boom"
+    assert minimal.faults == {"outages": [[None, 0.02, 0.04]]}
+    assert sum(c.n_clients for c in minimal.clients) == 3
+    assert len(minimal.clients) == 1
+    assert minimal.actions == []
+    assert minimal.overrides == {}
+    assert minimal.workers == 1
+    assert minimal.trace is False
+    assert minimal.duration < big_spec().duration
+
+
+def test_shrink_drops_fault_companion_knobs_together():
+    def fails(spec):
+        # Fails regardless of faults: everything fault-ish must go,
+        # including response_loss_window riding along response_loss.
+        return "always"
+
+    minimal, _ = shrink(big_spec(), fails)
+    assert minimal.faults is None
+    assert minimal.clients == [ClientSpec(kind="s_time", n_clients=1)]
+
+
+def test_shrink_clamps_crash_slots_when_removing_workers():
+    def fails(spec):
+        return "boom" if spec.workers >= 1 else None
+
+    minimal, _ = shrink(big_spec(), fails)
+    assert minimal.workers == 1
+    for action in minimal.actions:
+        assert not (action.kind == "crash" and action.slot >= 1)
+    if minimal.faults and "worker_crashes" in minimal.faults:
+        assert all(slot < 1 for slot, _ in minimal.faults["worker_crashes"])
+
+
+def test_shrink_rejects_non_reproducing_spec():
+    with pytest.raises(ValueError, match="not reproducible"):
+        shrink(big_spec(), lambda spec: None)
+
+
+def test_shrink_report_contains_replay_and_pytest_snippet():
+    spec = big_spec()
+    report = shrink_report(spec, "op-conservation: ledger diff 1")
+    assert "tools/fuzz_scenarios.py --spec" in report
+    assert "op-conservation: ledger diff 1" in report
+    assert "def test_shrunk_scenario_regression" in report
+    assert "run_scenario(spec)" in report
+    # The embedded JSON replays to an equal spec.
+    import json
+    blob = report.split("--spec '", 1)[1].split("'", 1)[0]
+    assert ScenarioSpec.from_dict(json.loads(blob)) == spec

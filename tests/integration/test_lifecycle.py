@@ -222,3 +222,67 @@ def test_plain_sighup_cycles_workers_on_same_config():
     assert sup.generation == 1
     assert bed.metrics.errors == 0
     assert sup.draining_count == 0
+
+
+# -- reload x outage cross-product (via the scenario harness) ----------------
+
+@pytest.fixture(scope="module")
+def reload_during_outage():
+    """Graceful reload fired while the whole card is dark: the old
+    generation drains into an endpoint outage, so every drain op must
+    fail over (deadline -> software fallback), not strand."""
+    from repro.testing.scenario import (ActionSpec, ClientSpec,
+                                        ScenarioSpec, run_scenario)
+    spec = ScenarioSpec(
+        seed=1021, config_name="QTLS", workers=WORKERS,
+        suites=SUITES, duration=0.12, trace=True,
+        overrides=dict(KNOBS),
+        clients=[ClientSpec(kind="s_time", n_clients=40,
+                            stagger=0.002)],
+        faults={"outages": [(None, 0.025, 0.06)]},
+        actions=[ActionSpec(kind="reload", at=0.03,
+                            mutation={"qat_batch_size": 8})],
+    )
+    return run_scenario(spec)
+
+
+def test_reload_during_outage_passes_all_invariants(reload_during_outage):
+    from repro.testing.invariants import check_all
+    assert check_all(reload_during_outage.bed) == []
+
+
+def test_reload_during_outage_swaps_generation(reload_during_outage):
+    bed = reload_during_outage.bed
+    sup = bed.server.supervisor
+    assert sup.generation == 1 and sup.reloads == 1
+    assert sup.draining_count == 0
+    for worker in bed.server.workers:
+        assert worker.generation == 1
+        assert worker.config.ssl_engine.qat_batch_size == 8
+
+
+def test_reload_during_outage_fails_over_instead_of_stranding(
+        reload_during_outage):
+    bed = reload_during_outage.bed
+    # The outage actually bit: submissions were rejected and drain ops
+    # had to be rescued off the dead card.
+    assert bed.fault_plan.submits_rejected > 0
+    retired = bed.server.retired_workers
+    assert len(retired) == WORKERS
+    rescued = sum(w.engine.op_timeouts + w.engine.ops_fallback
+                  + w.engine.submit_failures for w in retired)
+    assert rescued > 0
+    # ...and nothing stayed behind: every old-generation op retired.
+    for w in retired:
+        assert w.engine.inflight.total == 0
+    pool = bed.server.instance_pool
+    assert pool.dead_epoch_inflight() == 0
+    assert pool.retired_inbox_entries() == 0
+
+
+def test_service_recovers_after_outage_and_reload(reload_during_outage):
+    bed = reload_during_outage.bed
+    # Handshakes complete after the outage window ends at t=0.06 —
+    # the new generation is live and the card is back.
+    post = [t for t, _, _ in bed.metrics.handshakes if t > 0.07]
+    assert post, "no handshakes completed after recovery"

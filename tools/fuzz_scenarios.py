@@ -1,0 +1,201 @@
+#!/usr/bin/env python
+"""Deterministic scenario fuzzer for the QTLS simulation.
+
+Generates seeded random scenarios (``repro.testing.scenario``), runs
+each one to completion, and checks every registered cross-layer
+invariant (``repro.testing.invariants``). A scenario is fully
+identified by ``(harness_version, seed)`` — any failure this tool
+reports is replayable with the printed command on any machine.
+
+    python tools/fuzz_scenarios.py --n 500 --seed-base 0 --workers 4
+
+On failure the spec is greedily shrunk (``repro.testing.shrink``) and
+the tool prints the minimal replay command plus a pytest snippet ready
+to paste into the regression corpus.
+
+``--inject-bug lease-epoch`` disables the pool's retired-epoch check
+for completions — a deliberate bug that the tombstone-isolation
+invariant must catch. Used to validate that the harness has teeth.
+
+``--determinism`` runs every scenario twice and requires byte-equal
+world fingerprints (the same-seed reproducibility invariant).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import List, Optional, Tuple
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.testing.invariants import check_all  # noqa: E402
+from repro.testing.scenario import (  # noqa: E402
+    HARNESS_VERSION, ScenarioGen, ScenarioSpec, run_scenario,
+)
+from repro.testing.shrink import shrink, shrink_report  # noqa: E402
+
+INJECTABLE_BUGS = ("lease-epoch",)
+
+
+def apply_bug_injection(name: Optional[str]) -> None:
+    """Patch a deliberate bug into the production code (in-process
+    only). Used to prove the invariants catch real regressions."""
+    if name is None:
+        return
+    if name == "lease-epoch":
+        from repro.offload.pool import InstancePool
+        # Pretend no completion owner is ever tombstoned: late
+        # completions for retired epochs flow into recreated inboxes.
+        InstancePool.completion_retired = (  # type: ignore[method-assign]
+            lambda self, owner: False)
+    else:  # pragma: no cover - argparse choices guard this
+        raise ValueError(f"unknown bug injection {name!r}")
+
+
+def run_one(spec: ScenarioSpec, determinism: bool) -> Optional[str]:
+    """Failure oracle: run the scenario, return a description of the
+    first invariant violation / crash, or None if the world is clean."""
+    try:
+        result = run_scenario(spec)
+    except Exception as exc:
+        return f"crash: {type(exc).__name__}: {exc}"
+    violations = check_all(result.bed)
+    if violations:
+        v = violations[0]
+        extra = f" (+{len(violations) - 1} more)" if len(violations) > 1 \
+            else ""
+        return f"{v.invariant}: {v.detail}{extra}"
+    if determinism:
+        second = run_scenario(spec)
+        if second.fingerprint != result.fingerprint:
+            return "determinism: same-seed replay produced a different " \
+                   "world fingerprint"
+    return None
+
+
+def _worker_entry(job: Tuple[dict, bool, Optional[str]]
+                  ) -> Tuple[int, Optional[str]]:
+    spec_dict, determinism, bug = job
+    apply_bug_injection(bug)
+    spec = ScenarioSpec.from_dict(spec_dict)
+    return spec.seed, run_one(spec, determinism)
+
+
+def fuzz(n: int, seed_base: int, workers: int, determinism: bool,
+         bug: Optional[str]) -> List[Tuple[ScenarioSpec, str]]:
+    """Run ``n`` seeds starting at ``seed_base``; return failing
+    (spec, failure) pairs."""
+    specs = [ScenarioGen(seed_base + i).generate() for i in range(n)]
+    failures: List[Tuple[ScenarioSpec, str]] = []
+    by_seed = {s.seed: s for s in specs}
+    if workers > 1:
+        import multiprocessing
+        jobs = [(s.to_dict(), determinism, bug) for s in specs]
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(workers) as pool:
+            for seed, failure in pool.imap_unordered(_worker_entry, jobs):
+                _report_progress(seed, failure)
+                if failure is not None:
+                    failures.append((by_seed[seed], failure))
+    else:
+        apply_bug_injection(bug)
+        for spec in specs:
+            failure = run_one(spec, determinism)
+            _report_progress(spec.seed, failure)
+            if failure is not None:
+                failures.append((spec, failure))
+    failures.sort(key=lambda pair: pair[0].seed)
+    return failures
+
+
+def _report_progress(seed: int, failure: Optional[str]) -> None:
+    if failure is not None:
+        print(f"seed {seed}: FAIL  {failure}")
+    elif seed % 25 == 0:
+        print(f"seed {seed}: ok")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--n", type=int, default=200,
+                        help="number of scenarios to run (default 200)")
+    parser.add_argument("--seed-base", type=int, default=0,
+                        help="first seed; scenarios use seeds "
+                             "[base, base+n)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="parallel worker processes (default 1)")
+    parser.add_argument("--determinism", action="store_true",
+                        help="run each scenario twice and require "
+                             "byte-equal fingerprints")
+    parser.add_argument("--inject-bug", choices=INJECTABLE_BUGS,
+                        default=None,
+                        help="patch a known bug in and expect the "
+                             "invariants to catch it")
+    parser.add_argument("--spec", default=None, metavar="JSON",
+                        help="replay a single spec (JSON from a shrink "
+                             "report) instead of fuzzing")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="run exactly one generated seed")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="report failures without minimizing them")
+    parser.add_argument("--report", default=None, metavar="PATH",
+                        help="also write failure reports to this file")
+    args = parser.parse_args(argv)
+
+    print(f"harness v{HARNESS_VERSION}"
+          + (f", injected bug: {args.inject_bug}" if args.inject_bug
+             else ""))
+
+    if args.spec is not None:
+        apply_bug_injection(args.inject_bug)
+        spec = ScenarioSpec.from_dict(json.loads(args.spec))
+        failure = run_one(spec, args.determinism)
+        if failure is None:
+            print(f"replayed spec (seed {spec.seed}): PASS")
+            return 0
+        print(f"replayed spec (seed {spec.seed}): FAIL  {failure}")
+        return 1
+
+    if args.seed is not None:
+        args.seed_base, args.n = args.seed, 1
+
+    started = time.time()
+    failures = fuzz(args.n, args.seed_base, args.workers,
+                    args.determinism, args.inject_bug)
+    elapsed = time.time() - started
+    print(f"{args.n} scenario(s) in {elapsed:.1f}s, "
+          f"{len(failures)} failing")
+    if not failures:
+        return 0
+
+    apply_bug_injection(args.inject_bug)  # for in-process shrinking
+    reports: List[str] = []
+    for spec, failure in failures:
+        print(f"\n=== seed {spec.seed}: {failure}")
+        print(f"    repro: python tools/fuzz_scenarios.py "
+              f"--seed {spec.seed}"
+              + (f" --inject-bug {args.inject_bug}" if args.inject_bug
+                 else "")
+              + (" --determinism" if args.determinism else ""))
+        if args.no_shrink:
+            continue
+        minimal, min_failure = shrink(
+            spec, lambda s: run_one(s, args.determinism), log=print)
+        report = shrink_report(minimal, min_failure)
+        print(report)
+        reports.append(f"seed {spec.seed}\n{report}")
+    if args.report and reports:
+        with open(args.report, "w") as fh:
+            fh.write("\n\n".join(reports) + "\n")
+        print(f"\nwrote {len(reports)} report(s) to {args.report}")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
