@@ -19,7 +19,9 @@ Profiling hooks:
 - **histograms** — closed traces feed per-(backend, stage) streaming
   latency histograms (p50/p95/p99);
 - **timelines** — the device model reports per-endpoint engine
-  occupancy and per-instance in-flight levels.
+  occupancy and per-instance in-flight levels; the worker publishes
+  per-reactor-source activity (``w<id>.reactor.<source>.wakes`` /
+  ``.busy``) at watchdog/snapshot refresh points.
 """
 
 from __future__ import annotations

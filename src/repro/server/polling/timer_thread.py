@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from ...offload.engine import AsyncOffloadEngine
+from ...sim.process import Interrupt
 
 if TYPE_CHECKING:  # pragma: no cover
     from ...sim.kernel import Simulator
@@ -39,6 +40,8 @@ class TimerPollingThread:
         self.polls = 0
         self.effective_polls = 0
         self._running = False
+        #: Parked in the inter-tick timeout (vs mid-poll on the core).
+        self._sleeping = False
         self._proc = None
 
     def start(self) -> None:
@@ -48,19 +51,34 @@ class TimerPollingThread:
         self._proc = self.sim.process(self._run(), name=self.name)
 
     def stop(self) -> None:
+        """Stop polling: flag the loop and, if the process is parked in
+        the inter-tick sleep, interrupt it — so a killed/reloaded
+        worker strands no stale tick scheduled against a dead engine.
+        A thread caught *mid-poll* instead finishes charging the poll
+        it already started (a real process dies mid-syscall, not
+        mid-cycle-refund) and exits at the loop check."""
         self._running = False
+        if (self._proc is not None and self._proc.is_alive
+                and self._sleeping):
+            self._proc.interrupt("polling thread stopped")
+            self._proc = None
 
     def _run(self):
-        while self._running:
-            yield self.sim.timeout(self.interval)
-            if not self._running:
-                return
-            # Each tick schedules the thread onto the shared core: the
-            # owner identity differing from the worker's charges the
-            # context switch.
-            self.polls += 1
-            jobs = yield from self.engine.poll_and_dispatch(owner=self)
-            if jobs:
-                self.effective_polls += 1
-                if self.wake is not None:
-                    self.wake()
+        try:
+            while self._running:
+                self._sleeping = True
+                yield self.sim.timeout(self.interval)
+                self._sleeping = False
+                if not self._running:
+                    return
+                # Each tick schedules the thread onto the shared core:
+                # the owner identity differing from the worker's
+                # charges the context switch.
+                self.polls += 1
+                jobs = yield from self.engine.poll_and_dispatch(owner=self)
+                if jobs:
+                    self.effective_polls += 1
+                    if self.wake is not None:
+                        self.wake()
+        except Interrupt:
+            return  # stop() cancelled the pending tick

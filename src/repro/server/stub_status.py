@@ -66,6 +66,11 @@ class StubStatus:
         self.trace_spans = 0
         self.trace_sampled_out = 0
         self.tracing = False
+        # Reactor section: per-event-source wake/dispatch stats
+        # published by the worker from its reactor registry. Render
+        # only — deliberately NOT part of :meth:`counters`, so replay
+        # fingerprints stay stable across loop refactors.
+        self.reactor_sources: dict = {}
 
     # -- lifecycle hooks -------------------------------------------------
 
@@ -155,6 +160,13 @@ class StubStatus:
         self.lifecycle_epoch = epoch
         self.lifecycle_respawns = respawns
 
+    def update_reactor(self, *, sources: dict) -> None:
+        """Refresh the per-source reactor stats (worker watchdog /
+        consistent-snapshot reads). ``sources`` maps source name to its
+        :meth:`~repro.server.reactor.EventSource.stats` dict, in
+        registration order."""
+        self.reactor_sources = sources
+
     def update_trace(self, *, trace_ops: int, trace_open: int,
                      trace_spans: int, trace_sampled_out: int) -> None:
         """Refresh the request-tracing counters (worker watchdog /
@@ -234,4 +246,11 @@ class StubStatus:
                f"spans {self.trace_spans} "
                f"sampled_out {self.trace_sampled_out}\n"
                if self.tracing else "")
+            + ("reactor: "
+               + " ".join(
+                   f"{name}[wakes {s['wakes']} events {s['events']} "
+                   f"busy {s['busy'] * 1e6:.1f}us]"
+                   for name, s in self.reactor_sources.items())
+               + "\n"
+               if self.reactor_sources else "")
         )

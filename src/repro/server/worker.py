@@ -18,6 +18,15 @@ The four phases of the QTLS framework map onto this file as:
 4. *post-processing* — the worker pops the queue at the end of the
    loop (or sees the FD readable in epoll) and reschedules the saved
    handler, which resumes the paused job.
+
+The loop itself is built on :mod:`repro.server.reactor`: every wake
+mechanism (pollables, pending async events, due retries, the spin
+timeout, the timer thread, the interrupt retriever, the failover and
+watchdog sweeps, drain passes) is a registered
+:class:`~repro.server.reactor.EventSource`; one arbiter merges their
+deadlines into the epoll timeout and the end-of-pass pipeline runs the
+stage sources in registration order. The worker keeps the protocol
+handlers; the reactor owns scheduling.
 """
 
 from __future__ import annotations
@@ -43,13 +52,14 @@ from .http import parse_request, response_body
 from .notify.async_queue import AsyncEventQueue
 from .polling.heuristic import HeuristicPoller
 from .polling.timer_thread import TimerPollingThread
+from .reactor import (SPIN_TIMEOUT, AdmissionSource, AsyncQueueSource,
+                      BatchFlushSource, ConnSource, DrainPassSource,
+                      FailoverSource, HeuristicSource, InterruptSource,
+                      ListenerSource, NotifyFdSource, Reactor, RetrySource,
+                      TimerPollSource, WatchdogSource)
 from .stub_status import StubStatus
 
-__all__ = ["Worker", "WorkerMetrics"]
-
-#: epoll timeout while spinning with inflight requests (bounds the
-#: sim-event rate of the keep-executing loop; 0 would also be correct).
-SPIN_TIMEOUT = 2e-6
+__all__ = ["Worker", "WorkerMetrics", "SPIN_TIMEOUT"]
 
 
 class WorkerMetrics:
@@ -151,27 +161,55 @@ class Worker:
                     interval=eng_cfg.qat_timer_poll_interval,
                     name=f"w{worker_id}-poller", wake=wake)
 
+        # The reactor: registration order is dispatch order, deadline
+        # attribution order, end-of-pass stage order and teardown
+        # order. Pollable routing (listener -> notify FDs -> sockets)
+        # and the stage pipeline (async queue -> retries -> heuristic
+        # -> batch flush -> admission -> drain) replicate the
+        # historical hand-threaded loop exactly.
+        self.reactor = Reactor(sim, self)
+        reg = self.reactor.register
+        reg(ListenerSource(self))
+        reg(NotifyFdSource(self))
+        reg(ConnSource(self))
+        reg(AsyncQueueSource(self))
+        reg(RetrySource(self))
+        self._heuristic_source: Optional[HeuristicSource] = None
+        if self.interrupt_retriever is not None:
+            reg(InterruptSource(self, self.interrupt_retriever))
+        elif self.poller is not None:
+            self._heuristic_source = reg(HeuristicSource(self, self.poller))
+        elif self.timer_thread is not None:
+            reg(TimerPollSource(self, self.timer_thread))
+        if self._batching:
+            reg(BatchFlushSource(self))
+        if self._admission_on:
+            reg(AdmissionSource(self))
+        reg(DrainPassSource(self))
+        # The failover sweep backs up the *in-loop* retrieval scheme:
+        # timer and interrupt retrieval run out of loop and cannot
+        # stall below a poll threshold, so only heuristic mode
+        # registers it (FailoverSource itself is mode-generic).
+        if self.poller is not None and eng_cfg.qat_failover_timer > 0:
+            reg(FailoverSource(self, interval=eng_cfg.qat_failover_timer,
+                               polls_fn=lambda: self.poller.polls))
+        if (config.async_offload
+                and isinstance(self.engine, AsyncOffloadEngine)
+                and eng_cfg.qat_watchdog_interval > 0):
+            reg(WatchdogSource(
+                self, interval=eng_cfg.qat_watchdog_interval))
+
     # -- lifecycle ------------------------------------------------------------
 
     def start(self) -> None:
         self.proc = self.sim.process(
             self._event_loop(),
             name=f"worker-{self.worker_id}.g{self.generation}")
-        if self.timer_thread is not None:
-            self.timer_thread.start()
-        if self.poller is not None and \
-                self.config.ssl_engine.qat_failover_timer > 0:
-            self.sim.process(self._failover_loop(),
-                             name=f"w{self.worker_id}-failover")
-        if (self.config.async_offload and isinstance(self.engine, AsyncOffloadEngine)
-                and self.config.ssl_engine.qat_watchdog_interval > 0):
-            self.sim.process(self._watchdog_loop(),
-                             name=f"w{self.worker_id}-watchdog")
+        self.reactor.start()
 
     def stop(self) -> None:
         self.running = False
-        if self.timer_thread is not None:
-            self.timer_thread.stop()
+        self.reactor.shutdown()
         self._refresh_degradation()
 
     def begin_drain(self) -> None:
@@ -201,10 +239,9 @@ class Worker:
         open offload op is aborted out of the engine tables.
         Synchronous — a dead process consumes no core time."""
         self.running = False
-        if self.timer_thread is not None:
-            self.timer_thread.stop()
-        if self.interrupt_retriever is not None:
-            self.interrupt_retriever.disarm()
+        # Teardown by deregistration: every source (timer thread,
+        # interrupt retriever, sweeps) stops through the reactor.
+        self.reactor.shutdown()
         if self.proc is not None and self.proc.is_alive:
             self.proc.interrupt("worker killed")
         for conn in list(self.conns.values()):
@@ -239,41 +276,19 @@ class Worker:
     def _event_loop(self) -> Generator:
         try:
             while self.running:
-                timeout = self._loop_timeout()
+                timeout = self.reactor.next_timeout(self.sim.now)
                 ready = yield from self.epoll.wait(self.core, owner=self,
                                                    timeout=timeout)
                 for p in ready:
                     yield from self.core.consume(
                         self.cm.event_dispatch_cost, owner=self)
-                    if p is self.listener:
-                        if not self.draining:
-                            yield from self._accept_all()
-                    elif isinstance(p, NotifyFd):
-                        yield from self._notify_fd_event(p)
-                    else:
-                        conn = self.conns.get(p)
-                        if conn is not None:
-                            yield from self._socket_event(conn)
+                    yield from self.reactor.dispatch(p, owner=self)
                     yield from self._heuristic_check()
-                # Post-processing phase: drain the kernel-bypass queue
-                # at the end of the loop.
-                yield from self._drain_async_queue()
-                yield from self._process_retries()
-                yield from self._heuristic_check()
-                # End-of-pass batch flush: ops the handlers above
-                # coalesced this pass go out in one doorbell/RPC.
-                # Submissions never wait past the current loop pass, so
-                # batching adds no cross-pass latency.
-                if (self._batching and self.engine.queued_batch_ops):
-                    yield from self.engine.flush_batch(owner=self)
-                if self._admission_on and self.engine.admission_queued:
-                    yield from self.engine.admit_queued(owner=self)
-                if self.draining:
-                    yield from self._drain_pass()
-                    if self.drained:
-                        # Old generation finished its last connection:
-                        # exit; the supervisor retires the lease epoch.
-                        self.running = False
+                # Post-processing phase: the staged end-of-pass
+                # pipeline (async-queue drain -> retries -> heuristic
+                # check -> batch flush -> admission drain -> drain
+                # pass), in source registration order.
+                yield from self.reactor.end_of_pass(owner=self)
         except Interrupt:
             # Killed by the supervision layer (crash injection or a
             # drain-deadline force-abort); Worker.kill() already tore
@@ -299,77 +314,13 @@ class Worker:
             yield from self.engine.poll_and_dispatch(owner=self)
         return None
 
-    def _loop_timeout(self) -> Optional[float]:
-        if self.async_queue:
-            return 0.0
-        timeout: Optional[float] = None
-        if self.retries:
-            # Sleep only until the earliest backed-off retry is due.
-            due = min(c.retry_not_before for c, _ in self.retries)
-            timeout = max(0.0, due - self.sim.now)
-        if self.poller is not None and (
-                self.engine.inflight.total > 0
-                or self.engine.admission_queued > 0):
-            # Keep the loop executing while requests are in flight (or
-            # waiting on admission) instead of sleep-waiting (3.4).
-            return (SPIN_TIMEOUT if timeout is None
-                    else min(timeout, SPIN_TIMEOUT))
-        return timeout  # None: block until an event arrives
-
     def _heuristic_check(self) -> Generator:
-        if self.poller is not None:
-            yield from self.poller.check(owner=self)
+        """The paper's per-handler heuristic hook: evaluated after
+        every dispatched event (a no-op under timer/interrupt
+        retrieval, where no heuristic source is registered)."""
+        if self._heuristic_source is not None:
+            yield from self._heuristic_source.check(owner=self)
         return None
-
-    def _failover_loop(self) -> Generator:
-        """Section 4.3's failover: if no heuristic poll fired during
-        the last interval but requests are in flight, poll once."""
-        interval = self.config.ssl_engine.qat_failover_timer
-        last_polls = 0
-        while self.running:
-            yield self.sim.timeout(interval)
-            if (self.poller.polls == last_polls
-                    and (self.engine.inflight.total > 0
-                         or self.engine.admission_queued > 0)):
-                yield from self.engine.poll_and_dispatch(owner="failover")
-            last_polls = self.poller.polls
-
-    def _watchdog_loop(self) -> Generator:
-        """Graceful-degradation sweep: expire in-flight requests past
-        their deadline (section 4.3's failover generalized to hardware
-        faults) and rescue connections stuck in TLS-ASYNC — either the
-        notification was lost (response ready, handler never ran) or
-        the request itself vanished (e.g. wiped by an endpoint reset).
-        """
-        interval = self.config.ssl_engine.qat_watchdog_interval
-        stuck_age = self.engine.request_deadline + 2 * interval
-        while self.running:
-            yield self.sim.timeout(interval)
-            delivered = yield from self.engine.check_timeouts(owner=self)
-            rescued = 0
-            for conn in list(self.conns.values()):
-                if not conn.in_async or conn.async_since is None:
-                    continue
-                job = conn.ssl.job
-                if job is None or self.sim.now - conn.async_since <= stuck_age:
-                    continue
-                if job.response_ready:
-                    # Response delivered but the handler never ran:
-                    # reschedule it directly.
-                    conn.retry_not_before = 0.0
-                    self.retries.append((conn, conn.async_token))
-                    rescued += 1
-                elif (job.state.name == "PAUSED"
-                        and not self.engine.is_pending(job)):
-                    ok = yield from self.engine.fail_over_job(job, owner=self)
-                    if ok:
-                        rescued += 1
-            self.stub_status.watchdog_rescues += rescued
-            self._refresh_degradation()
-            if (delivered or rescued) and self.wake_fd is not None:
-                # Deliveries happened outside the loop; make sure a
-                # blocked epoll_wait sees the queued notifications.
-                self.wake_fd.write_event()
 
     def status_snapshot(self) -> dict:
         """Consistent stub_status read: refresh the page from the live
@@ -387,6 +338,17 @@ class Worker:
 
     def _refresh_degradation(self) -> None:
         """Publish offload-health counters on the stub_status page."""
+        self.stub_status.update_reactor(sources=self.reactor.snapshot())
+        obs = getattr(self.sim, "obs", None)
+        if obs is not None and obs.enabled:
+            # Per-source wake/busy timelines, sampled at republish
+            # points (watchdog ticks, lifecycle transitions, shutdown)
+            # so trace size stays bounded by the republish cadence.
+            for name, s in self.reactor.snapshot().items():
+                prefix = f"w{self.worker_id}.reactor.{name}"
+                obs.util_sample(f"{prefix}.wakes", self.sim.now,
+                                s["wakes"] + s["events"])
+                obs.util_sample(f"{prefix}.busy", self.sim.now, s["busy"])
         eng = self.engine
         if not isinstance(eng, AsyncOffloadEngine):
             return

@@ -27,7 +27,11 @@ __all__ = ["HARNESS_VERSION", "ClientSpec", "ActionSpec", "ScenarioSpec",
 
 #: Bump whenever generation changes: a corpus seed names the scenario
 #: produced by THIS generator, so drift must be explicit.
-HARNESS_VERSION = 1
+#: v2: retrieval-mode sampling (qat_poll_mode flips, timer poll
+#: interval, failover timer) — every draw after the override block
+#: shifted, so v1 corpus seeds replay from their archived specs
+#: (``tests/fuzz/corpus_v1_specs.json``), not by regeneration.
+HARNESS_VERSION = 2
 
 #: Suite choices per TLS version (server preference order irrelevant
 #: here — one or two suites are offered).
@@ -85,10 +89,17 @@ class ScenarioSpec:
         return d
 
     @classmethod
-    def from_dict(cls, d: dict) -> "ScenarioSpec":
+    def from_dict(cls, d: dict,
+                  allow_legacy: bool = False) -> "ScenarioSpec":
+        """Rebuild a spec from its JSON form. ``allow_legacy`` accepts
+        specs archived by an older generator (replay-by-spec is
+        version-independent — the spec is plain config data); without
+        it, a version mismatch is an error so corpus seeds never
+        silently name a different scenario."""
         d = dict(d)
         version = d.pop("harness_version", HARNESS_VERSION)
-        if version != HARNESS_VERSION:
+        if version != HARNESS_VERSION and not (
+                allow_legacy and 1 <= version < HARNESS_VERSION):
             raise ValueError(
                 f"spec written by harness v{version}, this is "
                 f"v{HARNESS_VERSION}; regenerate or replay by spec only")
@@ -110,6 +121,16 @@ class ScenarioSpec:
             bits.append(self.overrides["offload_sched_policy"])
         if self.overrides.get("offload_admission_limit"):
             bits.append(f"adm{self.overrides['offload_admission_limit']}")
+        if self.overrides.get("qat_notify_mode") == "interrupt":
+            bits.append("irq")
+        if self.overrides.get("qat_poll_mode"):
+            bits.append("poll-" + self.overrides["qat_poll_mode"])
+        if self.overrides.get("qat_timer_poll_interval"):
+            bits.append(
+                f"tick{self.overrides['qat_timer_poll_interval'] * 1e6:.0f}us")
+        if "qat_failover_timer" in self.overrides:
+            fo = self.overrides["qat_failover_timer"]
+            bits.append("fo-off" if fo == 0 else f"fo{fo * 1e3:g}ms")
         if self.faults:
             bits.append("faults:" + ",".join(sorted(
                 k for k in self.faults
@@ -218,6 +239,22 @@ class ScenarioGen:
                 ov["qat_request_deadline"] = self._uniform(8e-3, 25e-3)
             if self._flag(0.5):
                 ov["qat_watchdog_interval"] = self._uniform(1e-3, 5e-3)
+        if async_config and backend == "qat":
+            # Retrieval mode: flip the configuration's default polling
+            # scheme, stretch the timer tick, toggle the heuristic
+            # failover sweep — the reactor must wire all of them.
+            default_poll = "timer" if config_name == "QAT+A" else "heuristic"
+            if self._flag(0.25):
+                mode = self._choice(("heuristic", "timer"))
+                if mode != default_poll:
+                    ov["qat_poll_mode"] = mode
+            effective_poll = ov.get("qat_poll_mode", default_poll)
+            if (ov.get("qat_notify_mode") != "interrupt"
+                    and effective_poll == "timer" and self._flag(0.6)):
+                ov["qat_timer_poll_interval"] = self._choice(
+                    (5e-6, 10e-6, 25e-6, 50e-6))
+            if self._flag(0.3):
+                ov["qat_failover_timer"] = self._choice((0.0, 1e-3, 2.5e-3))
         if self._flag(0.3):
             ov["worker_respawn"] = self._flag(0.7)
             ov["max_respawns"] = self._int(0, 3)

@@ -1,15 +1,20 @@
 """Tier-1 replay of the fuzz seed corpus.
 
-Every seed in ``corpus.txt`` names one scenario, fixed by
-``(HARNESS_VERSION, seed)``. Each replays here as a regular test:
-the world must satisfy every registered invariant and — run twice —
-produce byte-identical fingerprints. A corpus failure means either a
-real regression or an intentional harness change (bump
-``HARNESS_VERSION`` and regenerate the corpus comments).
+Every seed in ``corpus.txt`` names one scenario. Seeds archived in
+``corpus_v1_specs.json`` were chosen under harness v1 and replay from
+their archived specs — replay-by-spec is version-independent, so the
+scenarios (and their fingerprints) survive generator changes. Seeds
+without an archived spec are fixed by ``(HARNESS_VERSION, seed)`` and
+regenerate. Each replays here as a regular test: the world must
+satisfy every registered invariant and — run twice — produce
+byte-identical fingerprints. A corpus failure means either a real
+regression or an intentional harness change (bump ``HARNESS_VERSION``,
+archive the old specs, and regenerate the corpus comments).
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -20,6 +25,8 @@ from repro.testing.scenario import (
 )
 
 CORPUS = Path(__file__).with_name("corpus.txt")
+V1_SPECS = json.loads(
+    Path(__file__).with_name("corpus_v1_specs.json").read_text())
 
 
 def corpus_seeds():
@@ -31,6 +38,15 @@ def corpus_seeds():
     return seeds
 
 
+def spec_for(seed: int) -> ScenarioSpec:
+    """Archived legacy spec if one exists, else current-version
+    generation."""
+    if str(seed) in V1_SPECS:
+        return ScenarioSpec.from_dict(V1_SPECS[str(seed)],
+                                      allow_legacy=True)
+    return ScenarioGen(seed).generate()
+
+
 SEEDS = corpus_seeds()
 
 
@@ -39,9 +55,13 @@ def test_corpus_is_nonempty_and_unique():
     assert len(set(SEEDS)) == len(SEEDS)
 
 
+def test_archived_specs_all_have_corpus_lines():
+    assert set(map(int, V1_SPECS)) <= set(SEEDS)
+
+
 @pytest.mark.parametrize("seed", SEEDS)
 def test_corpus_scenario_holds_invariants_and_replays_identically(seed):
-    spec = ScenarioGen(seed).generate()
+    spec = spec_for(seed)
     first = run_scenario(spec)
     violations = check_all(first.bed)
     assert violations == [], \
@@ -49,7 +69,7 @@ def test_corpus_scenario_holds_invariants_and_replays_identically(seed):
     # Same spec, fresh world: the fingerprint must match byte for byte.
     # The spec round-trips through its JSON form on the way, so corpus
     # replay also covers serialized-spec replay (shrink reports).
-    again = ScenarioSpec.from_dict(spec.to_dict())
+    again = ScenarioSpec.from_dict(spec.to_dict(), allow_legacy=True)
     assert again == spec
     second = run_scenario(again)
     assert second.fingerprint == first.fingerprint, \
@@ -62,6 +82,18 @@ def test_harness_version_gate_rejects_foreign_specs():
     d["harness_version"] = HARNESS_VERSION + 1
     with pytest.raises(ValueError, match="harness"):
         ScenarioSpec.from_dict(d)
+    # Future versions stay rejected even for legacy replay: only specs
+    # OLDER than this generator are plain-data replayable.
+    with pytest.raises(ValueError, match="harness"):
+        ScenarioSpec.from_dict(d, allow_legacy=True)
+
+
+def test_legacy_specs_need_explicit_opt_in():
+    d = next(iter(V1_SPECS.values()))
+    with pytest.raises(ValueError, match="harness"):
+        ScenarioSpec.from_dict(d)
+    spec = ScenarioSpec.from_dict(d, allow_legacy=True)
+    assert spec.harness_version == 1
 
 
 def test_injected_lease_epoch_bug_is_caught(monkeypatch):
