@@ -1,0 +1,203 @@
+"""Reactor-source conformance checker (RA6xx).
+
+Worker wake mechanisms plug into the reactor as
+:class:`repro.server.reactor.EventSource` subclasses, and the reactor
+trusts them structurally: ``name`` keys the stats/stub_status/obs
+namespaces (so it must be a unique literal), ``has_stage`` sources
+are driven through ``yield from source.on_pass(...)`` (so ``on_pass``
+must be a generator — a plain ``return``-a-list override would
+silently never run), and ``stats()`` overrides that skip
+``super().stats()`` drop the base wake/event/busy counters from the
+stub_status ``reactor:`` line. None of this is enforced at runtime —
+a malformed source just misbehaves quietly inside the hot loop — so
+the protocol is enforced here instead (the static half of the
+corpus-fingerprint equivalence gate).
+
+Codes:
+
+- **RA601** — subclass without a class-level string-literal ``name``
+  (or reusing the base default / another source's name in the same
+  module).
+- **RA602** — ``has_stage = True`` but ``on_pass`` is missing or not
+  a generator function.
+- **RA603** — overridden protocol hook with the wrong arity
+  (``matches(self, pollable)``, ``on_event(self, pollable, owner)``,
+  ``next_timeout(self, now)``, ``on_pass(self, owner)``,
+  ``stats(self)``, ``start``/``stop(self)``).
+- **RA604** — ``stats()`` override that never calls
+  ``super().stats()`` (drops the base counters).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from .core import (AnalysisContext, Checker, Finding, SourceFile,
+                   register_checker)
+
+__all__ = ["ReactorSourceChecker"]
+
+#: hook -> expected positional-arg count (including self).
+_HOOK_ARITY = {
+    "matches": 2,
+    "on_event": 3,
+    "next_timeout": 2,
+    "on_pass": 2,
+    "stats": 1,
+    "start": 1,
+    "stop": 1,
+    "attach": 2,
+}
+
+#: Generator hooks: the reactor drives them with ``yield from``.
+_GENERATOR_HOOKS = {"on_event", "on_pass"}
+
+
+def _is_event_source_base(base: ast.expr) -> bool:
+    if isinstance(base, ast.Name):
+        return base.id == "EventSource"
+    if isinstance(base, ast.Attribute):
+        return base.attr == "EventSource"
+    return False
+
+
+def _is_generator(fn) -> bool:
+    """Does this function itself yield? (yields inside nested defs
+    don't count)."""
+    stack = list(fn.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def _calls_super_stats(fn: ast.AST) -> bool:
+    for node in ast.walk(fn):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "stats"
+                and isinstance(node.func.value, ast.Call)
+                and isinstance(node.func.value.func, ast.Name)
+                and node.func.value.func.id == "super"):
+            return True
+    return False
+
+
+@register_checker
+class ReactorSourceChecker(Checker):
+    """RA6xx: EventSource subclasses structurally satisfy the
+    protocol the reactor assumes."""
+
+    name = "reactor-sources"
+    codes = {
+        "RA601": "EventSource subclass without a unique literal name",
+        "RA602": "stage source whose on_pass is missing or not a "
+                 "generator",
+        "RA603": "protocol hook overridden with the wrong arity",
+        "RA604": "stats() override that drops super().stats()",
+    }
+
+    def check_file(self, src: SourceFile,
+                   ctx: AnalysisContext) -> List[Finding]:
+        out: List[Finding] = []
+        seen_names: Dict[str, str] = {}  # source name -> class
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name == "EventSource":
+                continue  # the protocol root itself
+            if not any(_is_event_source_base(b) for b in node.bases):
+                continue
+            out.extend(self._check_class(src, node, seen_names))
+        return out
+
+    def _check_class(self, src: SourceFile, cls: ast.ClassDef,
+                     seen_names: Dict[str, str]) -> List[Finding]:
+        out: List[Finding] = []
+        name_value: Optional[str] = None
+        has_stage = False
+        methods: Dict[str, ast.AST] = {}
+        for stmt in cls.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    if target.id == "name":
+                        if (isinstance(stmt.value, ast.Constant) and
+                                isinstance(stmt.value.value, str)):
+                            name_value = stmt.value.value
+                    elif target.id == "has_stage":
+                        has_stage = (isinstance(stmt.value, ast.Constant)
+                                     and stmt.value.value is True)
+            elif isinstance(stmt, (ast.FunctionDef,
+                                   ast.AsyncFunctionDef)):
+                methods[stmt.name] = stmt
+
+        if name_value is None or name_value in ("", "source"):
+            out.append(self.finding(
+                src, cls.lineno, "RA601",
+                f"{cls.name} needs a class-level literal `name` "
+                "distinct from the base default (it keys stats, "
+                "stub_status and obs timelines)"))
+        elif name_value in seen_names:
+            out.append(self.finding(
+                src, cls.lineno, "RA601",
+                f"{cls.name} reuses source name "
+                f"{name_value!r} (already taken by "
+                f"{seen_names[name_value]}); names must be unique"))
+        else:
+            seen_names[name_value] = cls.name
+
+        if has_stage:
+            on_pass = methods.get("on_pass")
+            if on_pass is None:
+                out.append(self.finding(
+                    src, cls.lineno, "RA602",
+                    f"{cls.name} sets has_stage=True but does not "
+                    "override on_pass; the stage would run the "
+                    "base no-op"))
+            elif not _is_generator(on_pass):
+                out.append(self.finding(
+                    src, on_pass.lineno, "RA602",
+                    f"{cls.name}.on_pass must be a generator (the "
+                    "reactor drives it with `yield from`)"))
+
+        for hook, fn in methods.items():
+            expected = _HOOK_ARITY.get(hook)
+            if expected is None:
+                continue
+            args = fn.args
+            if args.vararg is not None or args.kwarg is not None:
+                continue  # explicitly variadic: trust it
+            # defaults make trailing params optional; count required +
+            # optional positional params and accept the protocol arity
+            # anywhere in that range.
+            total = len(args.posonlyargs) + len(args.args)
+            required = total - len(args.defaults)
+            if not (required <= expected <= total):
+                out.append(self.finding(
+                    src, fn.lineno, "RA603",
+                    f"{cls.name}.{hook} takes {total} positional "
+                    f"arg(s); the reactor calls it with {expected} "
+                    "(protocol arity mismatch)"))
+            if (hook in _GENERATOR_HOOKS and hook == "on_event"
+                    and not _is_generator(fn)):
+                out.append(self.finding(
+                    src, fn.lineno, "RA602",
+                    f"{cls.name}.on_event must be a generator (the "
+                    "reactor drives it with `yield from`)"))
+
+        stats_fn = methods.get("stats")
+        if stats_fn is not None and not _calls_super_stats(stats_fn):
+            out.append(self.finding(
+                src, stats_fn.lineno, "RA604",
+                f"{cls.name}.stats() never calls super().stats(); "
+                "the base wake/event/busy counters would vanish "
+                "from stub_status"))
+        return out

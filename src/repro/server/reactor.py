@@ -45,7 +45,6 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Generator, List, Optional, Tuple
 
 from ..net.epoll_sim import NotifyFd
-from ..offload.engine import AsyncOffloadEngine
 
 if TYPE_CHECKING:  # pragma: no cover
     from .worker import Worker

@@ -14,7 +14,7 @@ counterexample can be replayed directly, without its original seed.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field, replace
+from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -398,7 +398,9 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
             raise ValueError(f"unknown client kind {c.kind!r}")
     for action in spec.actions:
         if action.kind == "reload":
-            def fire_reload(mutation=dict(action.mutation)):
+            mutation = dict(action.mutation)
+
+            def fire_reload(mutation=mutation):
                 bed.server.reload(build_reload_config(spec, mutation))
             bed.sim.call_at(action.at, fire_reload)
         elif action.kind == "crash":

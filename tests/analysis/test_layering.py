@@ -1,0 +1,91 @@
+"""Golden tests for the layering checker (RA3xx)."""
+
+from .helpers import analyze_source, codes_of
+
+SELECT = ["layering"]
+
+
+def test_flags_upward_absolute_import(tmp_path):
+    result = analyze_source(tmp_path, {
+        "repro/crypto/bad.py": "from repro.server.config import X\n",
+    }, select=SELECT)
+    assert codes_of(result) == ["RA301"]
+    assert "rank" in result.findings[0].message
+
+
+def test_flags_upward_relative_import(tmp_path):
+    result = analyze_source(tmp_path, {
+        "repro/qat/bad.py": "from ..server import config\n",
+    }, select=SELECT)
+    assert codes_of(result) == ["RA301"]
+
+
+def test_flags_lateral_import(tmp_path):
+    # qat and tls share rank 3: lateral imports are also rejected
+    result = analyze_source(tmp_path, {
+        "repro/qat/bad.py": "from repro.tls import actions\n",
+    }, select=SELECT)
+    assert codes_of(result) == ["RA301"]
+
+
+def test_downward_and_intra_package_imports_pass(tmp_path):
+    result = analyze_source(tmp_path, {
+        "repro/server/ok.py": (
+            "from repro.sim import Simulator\n"
+            "from ..offload.engine import AsyncOffloadEngine\n"
+            "from .config import ServerConfig\n"
+            "from . import reactor\n"
+        ),
+    }, select=SELECT)
+    assert result.findings == []
+
+
+def test_package_init_relative_import_resolves_to_itself(tmp_path):
+    # `from . import x` inside repro/qat/__init__.py is intra-package
+    result = analyze_source(tmp_path, {
+        "repro/qat/__init__.py": "from . import rings\n"
+                                 "from .rings import RingFull\n",
+        "repro/qat/rings.py": "RingFull = object\n",
+    }, select=SELECT)
+    assert result.findings == []
+
+
+def test_function_body_import_is_exempt(tmp_path):
+    result = analyze_source(tmp_path, {
+        "repro/core/ok.py": (
+            "def build():\n"
+            "    from repro.server.config import ServerConfig\n"
+            "    return ServerConfig()\n"
+        ),
+    }, select=SELECT)
+    assert result.findings == []
+
+
+def test_type_checking_guard_is_exempt(tmp_path):
+    result = analyze_source(tmp_path, {
+        "repro/offload/ok.py": (
+            "from typing import TYPE_CHECKING\n"
+            "if TYPE_CHECKING:\n"
+            "    from repro.server.worker import Worker\n"
+        ),
+    }, select=SELECT)
+    assert result.findings == []
+
+
+def test_conditional_toplevel_import_still_counts(tmp_path):
+    result = analyze_source(tmp_path, {
+        "repro/crypto/bad.py": (
+            "try:\n"
+            "    from repro.server.config import X\n"
+            "except ImportError:\n"
+            "    X = None\n"
+        ),
+    }, select=SELECT)
+    assert codes_of(result) == ["RA301"]
+
+
+def test_unranked_package_flags_ra302(tmp_path):
+    result = analyze_source(tmp_path, {
+        "repro/mystery/mod.py": "x = 1\n",
+    }, select=SELECT)
+    assert codes_of(result) == ["RA302"]

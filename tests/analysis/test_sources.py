@@ -1,0 +1,120 @@
+"""Golden tests for the reactor-source conformance checker (RA6xx)."""
+
+from .helpers import analyze_source, codes_of
+
+SELECT = ["reactor-sources"]
+
+_GOOD = """
+class EventSource:
+    name = "source"
+    has_stage = False
+
+class GoodSource(EventSource):
+    name = "good"
+    has_stage = True
+    def matches(self, pollable):
+        return False
+    def on_event(self, pollable, owner):
+        yield from ()
+    def next_timeout(self, now):
+        return None
+    def on_pass(self, owner):
+        yield from ()
+    def stats(self):
+        s = super().stats()
+        s["extra"] = 1
+        return s
+"""
+
+
+def run(tmp_path, source):
+    return analyze_source(tmp_path, {"repro/server/mod.py": source},
+                          select=SELECT)
+
+
+def test_conforming_source_passes(tmp_path):
+    assert run(tmp_path, _GOOD).findings == []
+
+
+def test_flags_missing_and_duplicate_names(tmp_path):
+    result = run(tmp_path, (
+        "class A(EventSource):\n"
+        "    pass\n"
+        "class B(EventSource):\n"
+        "    name = 'dup'\n"
+        "class C(EventSource):\n"
+        "    name = 'dup'\n"
+    ))
+    assert codes_of(result) == ["RA601", "RA601"]
+    assert "reuses" in result.findings[1].message
+
+
+def test_flags_base_default_name(tmp_path):
+    result = run(tmp_path, (
+        "class D(EventSource):\n"
+        "    name = 'source'\n"
+    ))
+    assert codes_of(result) == ["RA601"]
+
+
+def test_flags_non_generator_stage(tmp_path):
+    result = run(tmp_path, (
+        "class S(EventSource):\n"
+        "    name = 's'\n"
+        "    has_stage = True\n"
+        "    def on_pass(self, owner):\n"
+        "        return []\n"
+    ))
+    assert codes_of(result) == ["RA602"]
+
+
+def test_flags_stage_without_on_pass(tmp_path):
+    result = run(tmp_path, (
+        "class S(EventSource):\n"
+        "    name = 's'\n"
+        "    has_stage = True\n"
+    ))
+    assert codes_of(result) == ["RA602"]
+
+
+def test_flags_wrong_hook_arity(tmp_path):
+    result = run(tmp_path, (
+        "class S(EventSource):\n"
+        "    name = 's'\n"
+        "    def next_timeout(self, now, slack):\n"
+        "        return None\n"
+    ))
+    assert codes_of(result) == ["RA603"]
+
+
+def test_defaulted_and_variadic_hooks_pass(tmp_path):
+    result = run(tmp_path, (
+        "class S(EventSource):\n"
+        "    name = 's'\n"
+        "    def next_timeout(self, now, slack=0.0):\n"
+        "        return None\n"
+        "class V(EventSource):\n"
+        "    name = 'v'\n"
+        "    def on_event(self, *args, **kw):\n"
+        "        yield from ()\n"
+    ))
+    assert result.findings == []
+
+
+def test_flags_stats_without_super(tmp_path):
+    result = run(tmp_path, (
+        "class S(EventSource):\n"
+        "    name = 's'\n"
+        "    def stats(self):\n"
+        "        return {'polls': 0}\n"
+    ))
+    assert codes_of(result) == ["RA604"]
+
+
+def test_non_source_classes_ignored(tmp_path):
+    result = run(tmp_path, (
+        "class Plain:\n"
+        "    def stats(self):\n"
+        "        return {}\n"
+    ))
+    assert result.findings == []

@@ -1,0 +1,88 @@
+"""Golden tests for the span-discipline checker (RA401)."""
+
+from .helpers import analyze_source, codes_of
+
+SELECT = ["span-discipline"]
+
+
+def run(tmp_path, source):
+    return analyze_source(tmp_path, {"repro/obs/mod.py": source},
+                          select=SELECT)
+
+
+def test_flags_leaked_span(tmp_path):
+    result = run(tmp_path, (
+        "def f(obs, op, sim):\n"
+        "    trace = obs.begin(op, 1, 2, 'x', sim.now)\n"
+        "    return None\n"
+    ))
+    assert codes_of(result) == ["RA401"]
+    assert "trace" in result.findings[0].message
+
+
+def test_flags_discarded_bare_open(tmp_path):
+    result = run(tmp_path, (
+        "def f(obs, op, sim):\n"
+        "    obs.begin(op, 1, 2, 'x', sim.now)\n"
+    ))
+    assert codes_of(result) == ["RA401"]
+
+
+def test_closed_span_passes(tmp_path):
+    result = run(tmp_path, (
+        "def f(obs, op, sim):\n"
+        "    trace = obs.begin(op, 1, 2, 'x', sim.now)\n"
+        "    try:\n"
+        "        work()\n"
+        "    finally:\n"
+        "        obs.finish(trace, sim.now)\n"
+    ))
+    assert result.findings == []
+
+
+def test_conditional_open_conditional_close_passes(tmp_path):
+    # the live engine.py idiom: trace = begin(...) if enabled else None
+    result = run(tmp_path, (
+        "def f(obs, op, sim, enabled):\n"
+        "    trace = obs.begin(op, 1, 2, 'x', sim.now) if enabled else None\n"
+        "    if trace is not None:\n"
+        "        obs.abort_open(trace, sim.now)\n"
+    ))
+    assert result.findings == []
+
+
+def test_attribute_store_is_ownership_transfer(tmp_path):
+    result = run(tmp_path, (
+        "def f(job, obs, op, sim):\n"
+        "    job.trace = obs.begin(op, 1, 2, 'x', sim.now)\n"
+    ))
+    assert result.findings == []
+
+
+def test_returned_and_passed_spans_are_transfers(tmp_path):
+    result = run(tmp_path, (
+        "def g(obs, op, sim):\n"
+        "    trace = obs.begin(op, 1, 2, 'x', sim.now)\n"
+        "    return trace\n"
+        "def h(obs, op, sim, q):\n"
+        "    trace = obs.begin(op, 1, 2, 'x', sim.now)\n"
+        "    q.append(trace)\n"
+        "def k(job, obs, op, sim):\n"
+        "    trace = obs.begin(op, 1, 2, 'x', sim.now)\n"
+        "    job.traces['op'] = trace\n"
+    ))
+    assert result.findings == []
+
+
+def test_nested_function_audited_separately(tmp_path):
+    result = run(tmp_path, (
+        "def outer(obs, op, sim):\n"
+        "    trace = obs.begin(op, 1, 2, 'x', sim.now)\n"
+        "    obs.finish(trace, sim.now)\n"
+        "    def inner():\n"
+        "        t2 = obs.begin(op, 1, 2, 'y', sim.now)\n"
+        "        return None\n"
+        "    return inner\n"
+    ))
+    assert codes_of(result) == ["RA401"]
+    assert "t2" in result.findings[0].message

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.bench.runner import Testbed, Windows
-from repro.clients import AbFleet, STimeFleet
+from repro.bench.runner import Testbed
 
 
 def make_bed(config="SW", **kw):

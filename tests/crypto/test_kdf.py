@@ -1,7 +1,6 @@
 """HMAC / TLS 1.2 PRF / HKDF tests, cross-checked against independent
 implementations built directly on the standard library."""
 
-import hashlib
 import hmac as stdlib_hmac
 
 import pytest

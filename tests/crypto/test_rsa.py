@@ -7,7 +7,7 @@ import pytest
 from repro.crypto import rsa
 
 try:
-    from cryptography.hazmat.primitives import hashes, serialization
+    from cryptography.hazmat.primitives import hashes
     from cryptography.hazmat.primitives.asymmetric import padding as cpad
     from cryptography.hazmat.primitives.asymmetric.rsa import (
         RSAPrivateNumbers, RSAPublicNumbers)

@@ -1,8 +1,6 @@
 """Engine resilience tests: deadlines, bounded retries, circuit
 breakers, software failover, stale-response filtering."""
 
-import pytest
-
 from repro.engine import CircuitBreaker, OffloadTimeout
 from repro.qat import qat_service_time
 from repro.testing import make_job, make_qat_env, rsa_call

@@ -9,7 +9,7 @@ from repro.crypto.ops import CryptoOp, CryptoOpKind
 from repro.engine import ALGORITHM_GROUPS, QatEngine, SoftwareEngine
 from repro.qat import QatDevice, QatUserspaceDriver, qat_service_time
 from repro.sim import Simulator
-from repro.ssl.async_job import FiberAsyncJob, JobState
+from repro.ssl.async_job import FiberAsyncJob
 from repro.tls.actions import CryptoCall
 
 

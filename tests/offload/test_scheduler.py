@@ -143,7 +143,7 @@ def test_strict_priority_starvation_fallback():
     popped = []
     # A steady stream of high-priority arrivals: without the deficit
     # fallback the cipher op would never be served.
-    for i in range(threshold + 1):
+    for _ in range(threshold + 1):
         s.push(Item(ASYM), ASYM)
         popped.append(s.pop())
     assert starving in popped  # served despite constant pressure

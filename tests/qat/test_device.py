@@ -5,7 +5,6 @@ import pytest
 from repro.crypto.ops import CryptoOp, CryptoOpKind
 from repro.qat import (QatDevice, QatUserspaceDriver, dh8970,
                        qat_service_time)
-from repro.qat.request import QatRequest
 from repro.sim import Simulator
 
 

@@ -1,9 +1,7 @@
 """Worker edge cases: event disorder during TLS-ASYNC, teardown with
 responses in flight, malformed requests, per-job FD mode."""
 
-import pytest
-
-from repro.bench.runner import Testbed, Windows
+from repro.bench.runner import Testbed
 from repro.server.connection import ConnState
 
 
@@ -88,12 +86,6 @@ def test_per_job_fd_mode_works():
 
 
 def test_malformed_http_request_closes_connection():
-    from collections import deque
-
-    from repro.tls.loopback import run_record_exchange
-    from repro.tls.record import RecordLayer
-    import numpy as np
-
     bed = Testbed("SW", workers=1, suites=("TLS-RSA",), seed=9)
 
     done = {}

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Event, Simulator, Timeout
+from repro.sim import Event, Simulator
 
 
 def test_time_starts_at_zero():

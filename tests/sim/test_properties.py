@@ -95,7 +95,7 @@ def test_simulation_determinism(seed, n):
         trace = []
 
         def worker(sim, k):
-            for i in range(3):
+            for _ in range(3):
                 yield sim.timeout(((seed >> (k % 16)) % 7 + 1) * 0.1 + k)
                 trace.append((k, round(sim.now, 9)))
 

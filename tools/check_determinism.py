@@ -1,72 +1,30 @@
 #!/usr/bin/env python
-"""Static lint: ban nondeterminism sources from the simulation tree.
+"""Determinism lint — thin shim over ``repro.analysis``.
 
-Every experiment must replay bit-for-bit from its seed (DESIGN.md
-section 2), so ``src/`` must never read ambient entropy or wall-clock
-time. This scans ``src/**/*.py`` for the classic leaks:
-
-- ``time.time(`` / ``time.monotonic(`` / ``time.perf_counter(`` —
-  wall-clock reads; simulated time is ``sim.now``;
-- ``random.random(`` — the global (process-seeded) stdlib generator;
-- argless ``datetime.now()`` / ``datetime.utcnow()``;
-- argless ``np.random.default_rng()`` — an OS-entropy-seeded stream.
-
-Lines that are deliberate (e.g. wall-clock *reporting* in the CLI,
-never fed back into the simulation) opt out with a trailing
-``# determinism: allowed`` comment.
-
-Usage::
-
-    python tools/check_determinism.py
-
-exits non-zero listing every violation as ``path:line: text``.
+Historically this was a standalone regex scan for wall-clock and
+global-RNG use in ``src/``. The AST-based ``determinism`` checker
+(``repro.analysis.determinism``, codes RA1xx) supersedes it: it
+resolves import aliases, sees the set-ordering and ``id()`` leaks the
+regexes could not, never trips on strings or docstrings, and shares
+the suppression/baseline machinery with the rest of the suite. This
+entry point is kept so existing CI steps and muscle memory
+(``python tools/check_determinism.py``) keep working; the legacy
+``# determinism: allowed`` opt-out mark is still honored. For the
+full suite run ``python tools/analyze.py``.
 """
 
-import re
 import sys
 from pathlib import Path
 
-ALLOW_MARK = "determinism: allowed"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
 
-#: (pattern, why it is banned)
-BANNED = [
-    (re.compile(r"\btime\.(time|monotonic|perf_counter)\s*\("),
-     "wall-clock read; use sim.now"),
-    (re.compile(r"\brandom\.random\s*\("),
-     "process-seeded global RNG; use RngRegistry streams"),
-    (re.compile(r"\bdatetime\.(now|utcnow)\s*\(\s*\)"),
-     "wall-clock read; pass timestamps explicitly"),
-    (re.compile(r"\bdefault_rng\s*\(\s*\)"),
-     "unseeded RNG; default_rng(seed) only"),
-]
+import analyze  # noqa: E402
 
 
-def scan(root: Path):
-    violations = []
-    for path in sorted(root.rglob("*.py")):
-        for lineno, line in enumerate(
-                path.read_text(encoding="utf-8").splitlines(), 1):
-            if ALLOW_MARK in line:
-                continue
-            for pattern, why in BANNED:
-                if pattern.search(line):
-                    violations.append(
-                        f"{path}:{lineno}: {line.strip()}  [{why}]")
-    return violations
-
-
-def main() -> int:
-    root = Path(__file__).resolve().parent.parent / "src"
-    violations = scan(root)
-    if violations:
-        print("nondeterminism leaked into src/ "
-              f"({len(violations)} violation(s)):")
-        for v in violations:
-            print(f"  {v}")
-        print(f"\nannotate deliberate uses with '# {ALLOW_MARK}'")
-        return 1
-    print("determinism lint: clean")
-    return 0
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    return analyze.main(["--select", "determinism", *args])
 
 
 if __name__ == "__main__":
